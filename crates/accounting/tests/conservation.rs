@@ -1,0 +1,120 @@
+//! Property tests: page accounting never loses or duplicates pages.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::rc::Rc;
+
+use mage_accounting::{AccountingCosts, AccountingKind, PageAccounting};
+use mage_sim::Simulation;
+use proptest::prelude::*;
+
+fn kind_from(idx: u8, partitions: usize) -> AccountingKind {
+    match idx % 3 {
+        0 => AccountingKind::GlobalLru,
+        1 => AccountingKind::PartitionedLru { partitions },
+        _ => AccountingKind::FifoQueues { partitions },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every inserted page is eventually handed out exactly once as a
+    /// victim (when nothing is hot), regardless of structure, partition
+    /// count, interleaving, or batch sizes.
+    #[test]
+    fn pages_conserved_through_scans(
+        kind_idx in 0u8..3,
+        partitions in 1usize..9,
+        pages in 1u64..400,
+        batch in 1usize..64,
+        evictors in 1usize..5,
+    ) {
+        let sim = Simulation::new();
+        let acct = Rc::new(PageAccounting::new(
+            sim.handle(),
+            kind_from(kind_idx, partitions),
+            AccountingCosts::default(),
+        ));
+        // Insert from a rotating set of cores.
+        {
+            let acct = Rc::clone(&acct);
+            let inserted = pages;
+            sim.block_on(async move {
+                for vpn in 0..inserted {
+                    acct.insert((vpn % 13) as usize, vpn).await;
+                }
+            });
+        }
+        prop_assert_eq!(acct.resident_pages(), pages);
+
+        // Concurrent evictors drain everything.
+        let victims: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for e in 0..evictors {
+            let acct = Rc::clone(&acct);
+            let victims = Rc::clone(&victims);
+            sim.spawn(async move {
+                let mut round = e;
+                let mut idle = 0;
+                while idle < 4 {
+                    let mut out = Vec::new();
+                    acct.take_victims(e, round, batch, &|_| false, &mut out).await;
+                    round += 1;
+                    if out.is_empty() {
+                        idle += 1;
+                    } else {
+                        idle = 0;
+                        victims.borrow_mut().extend(out);
+                    }
+                }
+            });
+        }
+        sim.run();
+
+        let got = victims.borrow();
+        let set: HashSet<u64> = got.iter().copied().collect();
+        prop_assert_eq!(set.len(), got.len(), "a page was handed out twice");
+        prop_assert_eq!(got.len() as u64, pages, "pages lost in the lists");
+        prop_assert_eq!(acct.resident_pages(), 0);
+    }
+
+    /// With a one-shot hotness oracle, hot pages are never the *first*
+    /// victims and are still evicted exactly once overall.
+    #[test]
+    fn second_chance_defers_but_never_duplicates(
+        pages in 4u64..200,
+        hot_stride in 2u64..8,
+    ) {
+        let sim = Simulation::new();
+        let acct = Rc::new(PageAccounting::new(
+            sim.handle(),
+            AccountingKind::GlobalLru,
+            AccountingCosts::default(),
+        ));
+        let hot: Rc<RefCell<HashSet<u64>>> = Rc::new(RefCell::new(
+            (0..pages).filter(|v| v % hot_stride == 0).collect(),
+        ));
+        let acct2 = Rc::clone(&acct);
+        let hot2 = Rc::clone(&hot);
+        let victims = sim.block_on(async move {
+            for vpn in 0..pages {
+                acct2.insert(0, vpn).await;
+            }
+            let is_hot = |vpn: u64| hot2.borrow_mut().remove(&vpn);
+            let mut out = Vec::new();
+            let mut round = 0;
+            while (out.len() as u64) < pages && round < 64 {
+                acct2.take_victims(0, round, 32, &is_hot, &mut out).await;
+                round += 1;
+            }
+            out
+        });
+        let set: HashSet<u64> = victims.iter().copied().collect();
+        prop_assert_eq!(set.len() as u64, pages, "duplicates or losses");
+        // The first victim must be a cold page (hot pages got a second
+        // chance), as long as there was at least one cold page.
+        if pages > pages / hot_stride {
+            prop_assert!(victims[0] % hot_stride != 0, "hot page evicted first");
+        }
+    }
+}

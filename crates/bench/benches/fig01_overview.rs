@@ -1,0 +1,56 @@
+//! Figure 1: GapBS (page rank) throughput vs. % far memory at 48 threads
+//! for every system, against the ideal baseline.
+//!
+//! Paper shape: DiLOS and Hermit lose 50–75% of their throughput at just
+//! 10% offloading; the MAGE variants track the ideal curve closely,
+//! unlocking offloading ratios that were previously unusable.
+
+use mage::SystemConfig;
+use mage_bench::{f2, scale, Experiment};
+use mage_workloads::runner::{run_batch, RunConfig};
+use mage_workloads::WorkloadKind;
+
+fn main() {
+    let systems = [
+        SystemConfig::ideal(),
+        SystemConfig::mage_lib(),
+        SystemConfig::mage_lnx(),
+        SystemConfig::dilos(),
+        SystemConfig::hermit(),
+    ];
+    let mut exp = Experiment::new(
+        "fig01",
+        "GapBS pagerank throughput vs far-memory % (48 threads), normalized to each system's all-local run",
+        &[
+            "far_mem_pct",
+            "Ideal",
+            "MageLib",
+            "MageLnx",
+            "DiLOS",
+            "Hermit",
+        ],
+    );
+    let mut baseline = Vec::new();
+    for far_pct in [0u32, 10, 20, 30, 40, 50, 60, 70, 80, 90] {
+        let mut cells = vec![far_pct.to_string()];
+        for (i, system) in systems.iter().enumerate() {
+            let mut cfg = RunConfig::new(
+                system.clone(),
+                WorkloadKind::RandomGraph,
+                scale::THREADS,
+                scale::APP_WSS,
+                1.0 - far_pct as f64 / 100.0,
+            );
+            cfg.ops_per_thread = scale::APP_OPS;
+            cfg.warmup_ops = scale::APP_OPS / 2;
+            let report = run_batch(&cfg);
+            if far_pct == 0 {
+                baseline.push(report.mops());
+            }
+            cells.push(f2(100.0 * report.mops() / baseline[i]));
+        }
+        exp.row(cells);
+    }
+    exp.finish();
+    println!("(cells: % of each system's own 100%-local throughput)");
+}

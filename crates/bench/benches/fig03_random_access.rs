@@ -1,0 +1,88 @@
+//! Figure 3: GapBS and XSBench throughput under Hermit vs. the ideal
+//! system, 48 threads (plus the paper's 4-thread side note).
+//!
+//! Paper shape: at 10% offloading Hermit already degrades GapBS by ~73%
+//! and XSBench by ~69%, while the ideal curves degrade gently; at 4
+//! threads the gap shrinks (35% / 19%).
+
+use mage::SystemConfig;
+use mage_bench::{f2, scale, Experiment};
+use mage_workloads::runner::{run_batch, RunConfig};
+use mage_workloads::WorkloadKind;
+
+fn series(kind: WorkloadKind, threads: usize) -> Vec<(u32, f64, f64)> {
+    let mut out = Vec::new();
+    let mut base = [0.0f64; 2];
+    for far_pct in [0u32, 10, 20, 30, 50, 70, 90] {
+        let mut point = (far_pct, 0.0, 0.0);
+        for (i, system) in [SystemConfig::ideal(), SystemConfig::hermit()]
+            .iter()
+            .enumerate()
+        {
+            let mut cfg = RunConfig::new(
+                system.clone(),
+                kind,
+                threads,
+                scale::APP_WSS,
+                1.0 - far_pct as f64 / 100.0,
+            );
+            cfg.ops_per_thread = scale::APP_OPS;
+            cfg.warmup_ops = scale::APP_OPS / 2;
+            let r = run_batch(&cfg);
+            if far_pct == 0 {
+                base[i] = r.mops();
+            }
+            let pct = 100.0 * r.mops() / base[i];
+            if i == 0 {
+                point.1 = pct;
+            } else {
+                point.2 = pct;
+            }
+        }
+        out.push(point);
+    }
+    out
+}
+
+fn main() {
+    let mut exp = Experiment::new(
+        "fig03",
+        "GapBS & XSBench: ideal vs Hermit (48T), relative throughput %",
+        &[
+            "far_mem_pct",
+            "gapbs_ideal",
+            "gapbs_hermit",
+            "xsbench_ideal",
+            "xsbench_hermit",
+        ],
+    );
+    let gapbs = series(WorkloadKind::RandomGraph, scale::THREADS);
+    let xs = series(WorkloadKind::XsBench, scale::THREADS);
+    for (g, x) in gapbs.iter().zip(xs.iter()) {
+        exp.row(vec![g.0.to_string(), f2(g.1), f2(g.2), f2(x.1), f2(x.2)]);
+    }
+    exp.finish();
+
+    // The paper's low-thread-count observation (§3.1): at 4 threads the
+    // collapse at 10% offloading is much milder.
+    let mut exp4 = Experiment::new(
+        "fig03_4threads",
+        "Hermit degradation at 10% offloading: 48 vs 4 threads",
+        &["workload", "threads", "hermit_drop_pct"],
+    );
+    for (name, kind) in [
+        ("gapbs", WorkloadKind::RandomGraph),
+        ("xsbench", WorkloadKind::XsBench),
+    ] {
+        for threads in [48usize, 4] {
+            let s = series(kind, threads);
+            let at10 = s.iter().find(|p| p.0 == 10).expect("10% point");
+            exp4.row(vec![
+                name.to_string(),
+                threads.to_string(),
+                f2(100.0 - at10.2),
+            ]);
+        }
+    }
+    exp4.finish();
+}

@@ -1,0 +1,61 @@
+//! Figure 5: fault-in-only vs fault-in+eviction throughput as thread
+//! count grows (sequential-read microbenchmark; ideal limit 5.86 M ops/s
+//! at the 192 Gbps practical ceiling).
+//!
+//! Paper shape: Hermit and DiLOS saturate around 24–28 threads far below
+//! the ideal limit; enabling eviction costs DiLOS ~half its fault-in
+//! throughput and Hermit even more.
+
+use mage::{IdealModel, SystemConfig};
+use mage_bench::{f2, scale, Experiment};
+use mage_workloads::runner::{run_batch, RunConfig};
+use mage_workloads::WorkloadKind;
+
+fn storm(system: SystemConfig, threads: usize, with_eviction: bool) -> f64 {
+    let wss = scale::STORM_WSS;
+    let mut cfg = RunConfig::new(
+        system,
+        WorkloadKind::SeqFault,
+        threads,
+        wss,
+        if with_eviction { 0.5 } else { 1.0 },
+    );
+    cfg.all_remote = true;
+    cfg.ops_per_thread = wss / threads as u64;
+    let r = run_batch(&cfg);
+    r.fault_mops()
+}
+
+fn main() {
+    let ideal_limit = IdealModel::fault_rate_ceiling(24.0, 4096) / 1e6;
+    let mut exp = Experiment::new(
+        "fig05",
+        "Fault-in throughput (M ops/s) vs threads: fault-in only / with eviction",
+        &[
+            "threads",
+            "hermit_fault_only",
+            "hermit_with_evict",
+            "dilos_fault_only",
+            "dilos_with_evict",
+            "magelib_fault_only",
+            "magelib_with_evict",
+        ],
+    );
+    for threads in [1usize, 2, 4, 8, 16, 24, 28, 32, 40, 48] {
+        let mut cells = vec![threads.to_string()];
+        for system in [
+            SystemConfig::hermit(),
+            SystemConfig::dilos(),
+            SystemConfig::mage_lib(),
+        ] {
+            // Prefetch off: this microbenchmark measures the raw paths.
+            let mut s = system;
+            s.prefetch = mage::PrefetchPolicy::None;
+            cells.push(f2(storm(s.clone(), threads, false)));
+            cells.push(f2(storm(s, threads, true)));
+        }
+        exp.row(cells);
+    }
+    exp.finish();
+    println!("ideal limit (192 Gbps / 4 KiB): {:.2} M ops/s", ideal_limit);
+}

@@ -1,0 +1,61 @@
+//! Figure 9: GapBS and XSBench throughput vs. local-memory ratio at 48
+//! threads for all four systems.
+//!
+//! Paper shape: at 10% offloading MAGE loses 15–19% on GapBS while
+//! Hermit/DiLOS lose 51–74%; for a 30%-drop SLO MAGE-Lib offloads up to
+//! ~61% of GapBS memory; XSBench (more compute per access) gives all
+//! systems more slack and MAGE a 3.6–3.8× offloadable-capacity gain.
+
+use mage::SystemConfig;
+use mage_bench::{f2, scale, Experiment};
+use mage_workloads::runner::{run_batch, RunConfig};
+use mage_workloads::WorkloadKind;
+
+fn sweep(kind: WorkloadKind, id: &'static str, title: &'static str) {
+    let systems = [
+        SystemConfig::mage_lib(),
+        SystemConfig::mage_lnx(),
+        SystemConfig::dilos(),
+        SystemConfig::hermit(),
+    ];
+    let mut exp = Experiment::new(
+        id,
+        title,
+        &["local_pct", "MageLib", "MageLnx", "DiLOS", "Hermit"],
+    );
+    let mut base = [0.0f64; 4];
+    for local_pct in [100u32, 90, 80, 70, 60, 50, 40, 30, 20, 10] {
+        let mut cells = vec![local_pct.to_string()];
+        for (i, system) in systems.iter().enumerate() {
+            let mut cfg = RunConfig::new(
+                system.clone(),
+                kind,
+                scale::THREADS,
+                scale::APP_WSS,
+                local_pct as f64 / 100.0,
+            );
+            cfg.ops_per_thread = scale::APP_OPS;
+            cfg.warmup_ops = scale::APP_OPS / 2;
+            let r = run_batch(&cfg);
+            if local_pct == 100 {
+                base[i] = r.mops();
+            }
+            cells.push(f2(100.0 * r.mops() / base[i]));
+        }
+        exp.row(cells);
+    }
+    exp.finish();
+}
+
+fn main() {
+    sweep(
+        WorkloadKind::RandomGraph,
+        "fig09_gapbs",
+        "GapBS pagerank throughput vs local memory (48T), % of all-local",
+    );
+    sweep(
+        WorkloadKind::XsBench,
+        "fig09_xsbench",
+        "XSBench throughput vs local memory (48T), % of all-local",
+    );
+}

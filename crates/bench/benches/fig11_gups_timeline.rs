@@ -1,0 +1,75 @@
+//! Figure 11: GUPS throughput timeline with a working-set phase change,
+//! 85% local memory, 48 threads.
+//!
+//! Paper shape: at the phase change, DiLOS and Hermit nearly stall for
+//! seconds while the old working set drains; MAGE dips briefly and
+//! recovers quickly because the pipelined evictors drain the old region
+//! without stalling the faulting threads. (Time is scaled: the paper's
+//! 10 s phase change happens at 5 ms here.)
+
+use mage::SystemConfig;
+use mage_bench::Experiment;
+use mage_workloads::runner::{run_batch, RunConfig};
+use mage_workloads::WorkloadKind;
+
+const PHASE_AT_NS: u64 = 5_000_000;
+const BUCKET_NS: u64 = 500_000;
+
+fn main() {
+    let systems = [
+        SystemConfig::mage_lib(),
+        SystemConfig::mage_lnx(),
+        SystemConfig::dilos(),
+        SystemConfig::hermit(),
+    ];
+    let mut exp = Experiment::new(
+        "fig11",
+        "GUPS ops per 0.5 ms bucket; phase change at 5 ms (85% local, 48T)",
+        &["bucket_0.5ms", "MageLib", "MageLnx", "DiLOS", "Hermit"],
+    );
+    let mut timelines = Vec::new();
+    let mut stall_note = Vec::new();
+    for system in &systems {
+        let name = system.name;
+        let mut cfg = RunConfig::new(system.clone(), WorkloadKind::Gups, 48, 49_152, 0.85);
+        cfg.ops_per_thread = 60_000;
+        cfg.phase_change_at_ns = Some(PHASE_AT_NS);
+        cfg.sample_interval_ns = Some(BUCKET_NS);
+        let r = run_batch(&cfg);
+        // Recovery time: first post-change bucket that reaches half the
+        // pre-change average rate.
+        let pre: Vec<u64> = r
+            .timeline
+            .iter()
+            .filter(|(t, _)| *t <= PHASE_AT_NS)
+            .map(|&(_, o)| o)
+            .collect();
+        let pre_avg = pre.iter().sum::<u64>() / pre.len().max(1) as u64;
+        let recovery = r
+            .timeline
+            .iter()
+            .find(|(t, o)| *t > PHASE_AT_NS + BUCKET_NS && *o * 2 >= pre_avg)
+            .map(|&(t, _)| (t - PHASE_AT_NS) as f64 / 1e6);
+        stall_note.push((name, pre_avg, recovery));
+        timelines.push(r.timeline);
+    }
+    let buckets = timelines.iter().map(|t| t.len()).max().unwrap_or(0);
+    for b in 0..buckets {
+        let mut cells = vec![format!("{}", b + 1)];
+        for tl in &timelines {
+            cells.push(
+                tl.get(b)
+                    .map_or_else(|| "-".into(), |&(_, o)| o.to_string()),
+            );
+        }
+        exp.row(cells);
+    }
+    exp.finish();
+    println!("recovery to half the pre-change rate after the 5 ms phase change:");
+    for (name, pre_avg, rec) in stall_note {
+        match rec {
+            Some(ms) => println!("  {name:<8} pre-rate {pre_avg}/ms, recovered after {ms:.1} ms"),
+            None => println!("  {name:<8} pre-rate {pre_avg}/ms, did not recover in-run"),
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 12: Metis MapReduce — map-phase and reduce-phase throughput at
+//! varying offload ratios, 48 threads.
+//!
+//! Paper shape: at 20% offloading everyone is near baseline in the map
+//! phase (its working set fits); after the phase change MAGE loses only
+//! ~14% while Hermit and DiLOS drop 61% / 41% because their eviction
+//! paths cannot drain the previous region fast enough.
+
+use mage::SystemConfig;
+use mage_bench::{f2, scale, Experiment};
+use mage_workloads::runner::{run_batch, RunConfig};
+use mage_workloads::WorkloadKind;
+
+fn main() {
+    let systems = [
+        SystemConfig::mage_lib(),
+        SystemConfig::mage_lnx(),
+        SystemConfig::dilos(),
+        SystemConfig::hermit(),
+    ];
+    let ops: u64 = 5_000;
+    for (phase, id, title) in [
+        (
+            0usize,
+            "fig12_map",
+            "Metis map phase throughput (M ops/s), 48T",
+        ),
+        (
+            1usize,
+            "fig12_reduce",
+            "Metis reduce phase throughput (M ops/s), 48T",
+        ),
+    ] {
+        let mut exp = Experiment::new(
+            id,
+            title,
+            &["local_pct", "MageLib", "MageLnx", "DiLOS", "Hermit"],
+        );
+        for local_pct in [100u32, 80, 60, 40, 20] {
+            let mut cells = vec![local_pct.to_string()];
+            for system in &systems {
+                let mut cfg = RunConfig::new(
+                    system.clone(),
+                    WorkloadKind::Metis,
+                    scale::THREADS,
+                    32_768,
+                    local_pct as f64 / 100.0,
+                );
+                cfg.ops_per_thread = ops;
+                cfg.phase_change_at_op = Some(ops / 2);
+                let r = run_batch(&cfg);
+                // Split throughput at the phase boundary.
+                let switch = *r.phase_switch_ns.iter().max().expect("threads ran");
+                let map_ops = (r.total_ops / 2) as f64;
+                let mops = if phase == 0 {
+                    map_ops * 1e3 / switch.max(1) as f64
+                } else {
+                    map_ops * 1e3 / (r.runtime_ns - switch).max(1) as f64
+                };
+                cells.push(f2(mops));
+            }
+            exp.row(cells);
+        }
+        exp.finish();
+    }
+}

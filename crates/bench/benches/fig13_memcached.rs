@@ -1,0 +1,73 @@
+//! Figure 13: Memcached tail latency.
+//!
+//! (a) p99 vs. local-memory ratio at a fixed load (half of the all-local
+//! capacity). (b) p99 vs. offered load at 50% local memory. 24 workers
+//! (single socket).
+//!
+//! Paper shape: for a 200 µs SLO MAGE-Lib offloads ~21% more memory than
+//! DiLOS and ~36% more than Hermit; under rising load MAGE sustains
+//! 0.28–0.64 M ops/s more than the baselines before the SLO breaks,
+//! because it never blocks a request behind a synchronous eviction.
+
+use mage::SystemConfig;
+use mage_bench::{f1, scale, Experiment};
+use mage_workloads::memcached::{run_memcached, MemcachedConfig};
+
+const DATA_PAGES: u64 = 60_000;
+
+fn run(system: SystemConfig, local_ratio: f64, load_mops: f64) -> (u64, f64) {
+    let mut cfg = MemcachedConfig::paper(system, DATA_PAGES);
+    cfg.workers = scale::LAT_THREADS;
+    cfg.local_ratio = local_ratio;
+    cfg.load_mops = load_mops;
+    cfg.duration_ns = 20_000_000;
+    let r = run_memcached(&cfg);
+    (r.p99_ns, r.achieved_mops)
+}
+
+fn main() {
+    let systems = [
+        SystemConfig::mage_lib(),
+        SystemConfig::mage_lnx(),
+        SystemConfig::dilos(),
+        SystemConfig::hermit(),
+    ];
+
+    // (a) fixed load, varying local memory.
+    let mut exp_a = Experiment::new(
+        "fig13a",
+        "Memcached p99 (us) vs local-memory % at fixed 0.8 M ops/s load (24 workers)",
+        &["local_pct", "MageLib", "MageLnx", "DiLOS", "Hermit"],
+    );
+    for local_pct in [100u32, 80, 60, 50, 40, 30, 20] {
+        let mut cells = vec![local_pct.to_string()];
+        for system in &systems {
+            let (p99, _) = run(system.clone(), local_pct as f64 / 100.0, 0.8);
+            cells.push(f1(p99 as f64 / 1e3));
+        }
+        exp_a.row(cells);
+    }
+    exp_a.finish();
+
+    // (b) fixed 50% local memory, varying load.
+    let mut exp_b = Experiment::new(
+        "fig13b",
+        "Memcached p99 (us) vs offered load (M ops/s) at 50% local memory",
+        &["load_mops", "MageLib", "MageLnx", "DiLOS", "Hermit"],
+    );
+    for load in [0.2f64, 0.4, 0.8, 1.2, 1.6, 2.0, 2.4] {
+        let mut cells = vec![format!("{load:.1}")];
+        for system in &systems {
+            let (p99, achieved) = run(system.clone(), 0.5, load);
+            let cell = if achieved < load * 0.9 {
+                format!("{} (sat)", f1(p99 as f64 / 1e3))
+            } else {
+                f1(p99 as f64 / 1e3)
+            };
+            cells.push(cell);
+        }
+        exp_b.row(cells);
+    }
+    exp_b.finish();
+    println!("(sat) = system saturated below the offered load");
+}

@@ -1,0 +1,52 @@
+//! Figure 15: throughput–latency curves for each system's fault path vs.
+//! raw RDMA reads (with 4 background writers).
+//!
+//! Paper shape: MAGE-Lib keeps a flat, low tail across loads — its
+//! fault-path components provide natural back-pressure on the RDMA
+//! stack, avoiding the congestion tail spikes the raw-RDMA open loop
+//! exhibits near saturation; Hermit's and DiLOS's tails blow up early
+//! due to synchronous eviction.
+
+use mage::SystemConfig;
+use mage_bench::{f1, f2, Experiment};
+use mage_workloads::runner::{run_open_loop_faults, run_raw_rdma};
+
+const DURATION_NS: u64 = 15_000_000;
+const WSS: u64 = 200_000;
+
+fn main() {
+    let mut exp = Experiment::new(
+        "fig15",
+        "Open-loop fault path: offered vs achieved (M ops/s) and p99 (us)",
+        &[
+            "offered_mops",
+            "magelib_ach",
+            "magelib_p99",
+            "dilos_ach",
+            "dilos_p99",
+            "hermit_ach",
+            "hermit_p99",
+            "rawrdma_ach",
+            "rawrdma_p99",
+        ],
+    );
+    for rate in [1.0f64, 2.0, 3.0, 4.0, 5.0, 5.5, 6.0] {
+        let mut cells = vec![format!("{rate:.1}")];
+        for system in [
+            SystemConfig::mage_lib(),
+            SystemConfig::dilos(),
+            SystemConfig::hermit(),
+        ] {
+            let mut s = system;
+            s.prefetch = mage::PrefetchPolicy::None;
+            let r = run_open_loop_faults(s, 48, WSS, 0.3, rate, DURATION_NS, 7);
+            cells.push(f2(r.achieved_mops));
+            cells.push(f1(r.p99_ns as f64 / 1e3));
+        }
+        let raw = run_raw_rdma(rate, DURATION_NS, 7);
+        cells.push(f2(raw.achieved_mops));
+        cells.push(f1(raw.p99_ns as f64 / 1e3));
+        exp.row(cells);
+    }
+    exp.finish();
+}

@@ -1,0 +1,48 @@
+//! Figure 18a: pipelined vs. non-pipelined eviction across batch sizes
+//! on GapBS.
+//!
+//! Paper shape: the pipelined design peaks at batch sizes 128–256 (the
+//! RDMA wait fully hides the shootdown latency; beyond 256 there is no
+//! further gain); the non-pipelined design is best at 64 and cannot
+//! profit from larger batches because its evictors spend ~40% of their
+//! time blocked in TLB flushes. Even at equal batch size (64) the
+//! pipelined design wins.
+
+use mage::SystemConfig;
+use mage_bench::{f2, scale, Experiment};
+use mage_workloads::runner::{run_batch, RunConfig};
+use mage_workloads::WorkloadKind;
+
+fn run(pipelined: bool, batch: usize) -> f64 {
+    let mut system = SystemConfig::mage_lib().with_eviction_batch(batch);
+    if !pipelined {
+        system.pipelined_eviction = false;
+        system.name = "MageSeq";
+    }
+    let mut cfg = RunConfig::new(
+        system,
+        WorkloadKind::RandomGraph,
+        scale::THREADS,
+        scale::APP_WSS,
+        0.5,
+    );
+    cfg.ops_per_thread = scale::APP_OPS;
+    cfg.warmup_ops = scale::APP_OPS / 2;
+    run_batch(&cfg).mops()
+}
+
+fn main() {
+    let mut exp = Experiment::new(
+        "fig18a",
+        "GapBS throughput (M ops/s) vs eviction batch size, 50% local, 48T",
+        &["batch", "pipelined", "non_pipelined"],
+    );
+    for batch in [16usize, 32, 64, 128, 256, 512] {
+        exp.row(vec![
+            batch.to_string(),
+            f2(run(true, batch)),
+            f2(run(false, batch)),
+        ]);
+    }
+    exp.finish();
+}

@@ -1,0 +1,45 @@
+//! Figure 18b: regression test at low thread count — GapBS with 4
+//! threads across offload ratios.
+//!
+//! Paper shape: at 4 threads the fault-in demand (≈0.8 M ops/s) is far
+//! below every system's capacity, so MAGE and DiLOS perform similarly
+//! and slightly better than Hermit (whose fault handler carries more
+//! Linux machinery), while at 100% local Hermit's bare-metal execution
+//! wins — MAGE's throughput orientation causes no low-load regression.
+
+use mage::SystemConfig;
+use mage_bench::{f2, scale, Experiment};
+use mage_workloads::runner::{run_batch, RunConfig};
+use mage_workloads::WorkloadKind;
+
+fn main() {
+    let systems = [
+        SystemConfig::mage_lib(),
+        SystemConfig::mage_lnx(),
+        SystemConfig::dilos(),
+        SystemConfig::hermit(),
+    ];
+    let mut exp = Experiment::new(
+        "fig18b",
+        "GapBS throughput (M ops/s) at 4 threads vs local memory",
+        &["local_pct", "MageLib", "MageLnx", "DiLOS", "Hermit"],
+    );
+    for local_pct in [100u32, 90, 70, 50, 30, 10] {
+        let mut cells = vec![local_pct.to_string()];
+        for system in &systems {
+            let mut cfg = RunConfig::new(
+                system.clone(),
+                WorkloadKind::RandomGraph,
+                4,
+                scale::APP_WSS,
+                local_pct as f64 / 100.0,
+            );
+            cfg.ops_per_thread = 12_000;
+            cfg.warmup_ops = 3_000;
+            let r = run_batch(&cfg);
+            cells.push(f2(r.mops()));
+        }
+        exp.row(cells);
+    }
+    exp.finish();
+}

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks for the hot data structures: buddy
+//! allocator alloc/free, TLB fill/invalidate, page-table updates and
+//! histogram recording. These bound the *host-side* cost of a simulated
+//! event, which determines how large an experiment the harness can run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_mmu::{PageTable, Pte, Tlb};
+use mage_palloc::BuddyAllocator;
+use mage_sim::stats::Histogram;
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_cycle", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 16);
+        b.iter(|| {
+            let f = buddy.alloc(0).expect("frame");
+            buddy.free(std::hint::black_box(f), 0);
+        });
+    });
+    c.bench_function("buddy_batch_64", |b| {
+        let mut buddy = BuddyAllocator::new(1 << 16);
+        let mut out = Vec::with_capacity(64);
+        b.iter(|| {
+            out.clear();
+            buddy.alloc_batch(64, &mut out);
+            buddy.free_batch(std::hint::black_box(&out));
+        });
+    });
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    c.bench_function("tlb_fill_invalidate", |b| {
+        let tlb = Tlb::new(1_536, 7);
+        let mut vpn = 0u64;
+        b.iter(|| {
+            tlb.fill(std::hint::black_box(vpn));
+            tlb.invalidate(vpn);
+            vpn += 1;
+        });
+    });
+    c.bench_function("tlb_lookup_hit", |b| {
+        let tlb = Tlb::new(1_536, 7);
+        for v in 0..1_000 {
+            tlb.fill(v);
+        }
+        let mut vpn = 0u64;
+        b.iter(|| {
+            std::hint::black_box(tlb.lookup(vpn % 1_000));
+            vpn += 1;
+        });
+    });
+}
+
+fn bench_pagetable(c: &mut Criterion) {
+    c.bench_function("pagetable_update", |b| {
+        let pt = PageTable::new();
+        for v in 0..10_000u64 {
+            pt.set(v, Pte::present(v));
+        }
+        let mut vpn = 0u64;
+        b.iter(|| {
+            pt.update(std::hint::black_box(vpn % 10_000), |p| {
+                p.with_accessed(true)
+            });
+            vpn += 1;
+        });
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    c.bench_function("histogram_record", |b| {
+        let h = Histogram::new();
+        let mut v = 1u64;
+        b.iter(|| {
+            h.record(std::hint::black_box(v));
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1) >> 34;
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_buddy,
+    bench_tlb,
+    bench_pagetable,
+    bench_histogram
+);
+criterion_main!(benches);

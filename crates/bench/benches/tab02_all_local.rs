@@ -1,0 +1,52 @@
+//! Table 2: throughput of the batch applications with 100% local memory
+//! (no offloading) — the cost of virtualization.
+//!
+//! Paper shape: Hermit (bare metal) is the fastest baseline; the
+//! virtualized systems (MAGE-Lib, MAGE-Lnx, DiLOS) trail it by single-
+//! digit percentages (up to ~20% for MAGE-Lnx on the syscall-heavy
+//! Metis) due to EPT translations and VMexits.
+
+use mage::SystemConfig;
+use mage_bench::{f2, scale, Experiment};
+use mage_workloads::runner::{run_batch, RunConfig};
+use mage_workloads::WorkloadKind;
+
+fn main() {
+    let mut exp = Experiment::new(
+        "tab02",
+        "All-local throughput (M ops/s) and % vs the best system",
+        &["workload", "MageLib", "MageLnx", "DiLOS", "Hermit"],
+    );
+    let workloads = [
+        ("gapbs", WorkloadKind::RandomGraph),
+        ("xsbench", WorkloadKind::XsBench),
+        ("seqscan_prefetch", WorkloadKind::SeqScan),
+        ("gups", WorkloadKind::Gups),
+        ("metis", WorkloadKind::Metis),
+    ];
+    for (name, kind) in workloads {
+        let systems = [
+            SystemConfig::mage_lib(),
+            SystemConfig::mage_lnx(),
+            SystemConfig::dilos(),
+            SystemConfig::hermit(),
+        ];
+        let mut mops = Vec::new();
+        for system in systems {
+            let mut cfg = RunConfig::new(system, kind, scale::THREADS, scale::APP_WSS, 1.0);
+            cfg.ops_per_thread = scale::APP_OPS;
+            cfg.warmup_ops = scale::APP_OPS / 4;
+            mops.push(run_batch(&cfg).mops());
+        }
+        let best = mops.iter().cloned().fold(0.0, f64::max);
+        let mut cells = vec![name.to_string()];
+        for m in &mops {
+            cells.push(format!("{} ({:+.0}%)", f2(*m), 100.0 * (m - best) / best));
+        }
+        exp.row(cells);
+    }
+    exp.finish();
+    println!(
+        "(percentages relative to the best system per row; paper reports Hermit best everywhere)"
+    );
+}

@@ -1,0 +1,271 @@
+//! System configurations: one engine, many far-memory systems.
+//!
+//! Every system the paper evaluates is a configuration of the same engine
+//! (DESIGN.md §4.4), so ablations toggle exactly one knob at a time:
+//!
+//! | knob | Hermit | DiLOS | MAGE-Lib | MAGE-Lnx |
+//! |---|---|---|---|---|
+//! | accounting | global LRU | global LRU | partitioned LRU | FIFO queues |
+//! | local alloc | per-CPU cache | global buddy | multi-layer | multi-layer |
+//! | remote alloc | swap lock | direct map | direct map | direct map |
+//! | VMA lock | global | none | none | sharded |
+//! | sync eviction | yes | yes | **no** | **no** |
+//! | pipelined EP | no | no | **yes** | **yes** |
+//! | evictors | dynamic ≤32 | 4 | 4 fixed | 4 fixed |
+//! | prefetch | readahead | readahead | readahead | none |
+//! | virtualized | no (bare metal) | yes | yes | yes |
+
+use mage_accounting::AccountingKind;
+use mage_fabric::NicConfig;
+use mage_mmu::VmaLockModel;
+use mage_palloc::LocalAllocatorKind;
+
+use crate::costs::{CostModel, OsProfile};
+
+/// Remote-slot allocation policy selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteAllocKind {
+    /// VMA-level direct mapping (§4.2.3).
+    DirectMap,
+    /// Linux swap-slot bitmap behind a global lock.
+    SwapLock,
+}
+
+/// Prefetching policy on the fault-in path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrefetchPolicy {
+    /// No prefetching.
+    None,
+    /// Sequential-pattern readahead with the given maximum window.
+    Readahead {
+        /// Maximum pages prefetched per trigger.
+        max_window: usize,
+    },
+}
+
+/// Full configuration of one simulated far-memory system.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// Display name.
+    pub name: &'static str,
+    /// Page-accounting structure (`EP₁`/`FP₃`).
+    pub accounting: AccountingKind,
+    /// Local frame-allocator stack (`FP₁`).
+    pub local_alloc: LocalAllocatorKind,
+    /// Remote-slot policy (`EP₃`).
+    pub remote_alloc: RemoteAllocKind,
+    /// Address-space lock granularity.
+    pub vma_lock: VmaLockModel,
+    /// Number of dedicated evictor threads.
+    pub evictors: usize,
+    /// Upper bound for feedback-directed evictor scaling (Hermit); equal
+    /// to `evictors` when scaling is off.
+    pub max_evictors: usize,
+    /// Whether the fault path may perform synchronous eviction when no
+    /// free page is available (disallowed by MAGE's P1).
+    pub sync_eviction: bool,
+    /// Cross-batch pipelined eviction (MAGE's P2) vs. sequential batches.
+    pub pipelined_eviction: bool,
+    /// Pages per eviction batch / shootdown (256 for MAGE, §4.2.1).
+    pub eviction_batch: usize,
+    /// Pages per synchronous (fault-path) eviction batch.
+    pub sync_eviction_batch: usize,
+    /// Prefetch policy.
+    pub prefetch: PrefetchPolicy,
+    /// Whether the system runs in a VM (VMexit on IPIs, compute
+    /// inflation).
+    pub virtualized: bool,
+    /// Whether TLB coherence is maintained at all (false only for the
+    /// "ideal" baseline, which has no software overhead by definition).
+    pub tlb_coherence: bool,
+    /// NIC / link configuration.
+    pub nic: NicConfig,
+    /// Service-time model.
+    pub costs: CostModel,
+}
+
+impl SystemConfig {
+    /// MAGE-Lib: the libOS variant (§5.2).
+    pub fn mage_lib() -> Self {
+        SystemConfig {
+            name: "MageLib",
+            accounting: AccountingKind::PartitionedLru { partitions: 8 },
+            local_alloc: LocalAllocatorKind::MultiLayer,
+            remote_alloc: RemoteAllocKind::DirectMap,
+            vma_lock: VmaLockModel::None,
+            evictors: 4,
+            max_evictors: 4,
+            sync_eviction: false,
+            pipelined_eviction: true,
+            eviction_batch: 256,
+            sync_eviction_batch: 64,
+            prefetch: PrefetchPolicy::None,
+            virtualized: true,
+            tlb_coherence: true,
+            nic: NicConfig::bluefield2_200g(),
+            costs: CostModel::new(OsProfile::unikernel(), true),
+        }
+    }
+
+    /// MAGE-Lnx: the Linux-kernel variant (§5.1). No prefetch support;
+    /// the Linux RDMA stack caps effective bandwidth at ~139 Gbps (§6.4).
+    pub fn mage_lnx() -> Self {
+        SystemConfig {
+            name: "MageLnx",
+            accounting: AccountingKind::FifoQueues { partitions: 8 },
+            local_alloc: LocalAllocatorKind::MultiLayer,
+            remote_alloc: RemoteAllocKind::DirectMap,
+            vma_lock: VmaLockModel::Sharded(16),
+            evictors: 4,
+            max_evictors: 4,
+            sync_eviction: false,
+            pipelined_eviction: true,
+            eviction_batch: 256,
+            sync_eviction_batch: 64,
+            prefetch: PrefetchPolicy::None,
+            virtualized: true,
+            tlb_coherence: true,
+            nic: NicConfig {
+                bandwidth_bytes_per_ns: 17.4, // 139 Gbps ceiling (§6.4)
+                ..NicConfig::bluefield2_200g()
+            },
+            costs: CostModel::new(OsProfile::mage_lnx(), true),
+        }
+    }
+
+    /// Hermit (NSDI '23): Linux with feedback-directed asynchrony, run on
+    /// bare metal (§6.1).
+    pub fn hermit() -> Self {
+        SystemConfig {
+            name: "Hermit",
+            accounting: AccountingKind::GlobalLru,
+            local_alloc: LocalAllocatorKind::PcpuCache,
+            remote_alloc: RemoteAllocKind::SwapLock,
+            vma_lock: VmaLockModel::Global,
+            evictors: 4,
+            max_evictors: 32,
+            sync_eviction: true,
+            pipelined_eviction: false,
+            eviction_batch: 64,
+            sync_eviction_batch: 32,
+            prefetch: PrefetchPolicy::Readahead { max_window: 8 },
+            virtualized: false,
+            tlb_coherence: true,
+            nic: NicConfig::bluefield2_200g(),
+            costs: CostModel::new(OsProfile::linux_bare_metal(), false),
+        }
+    }
+
+    /// DiLOS (EuroSys '23): far-memory unikernel, extended (as in the
+    /// paper, §3.2) with multiple eviction threads and synchronous
+    /// eviction.
+    pub fn dilos() -> Self {
+        SystemConfig {
+            name: "DiLOS",
+            accounting: AccountingKind::GlobalLru,
+            local_alloc: LocalAllocatorKind::GlobalBuddy,
+            remote_alloc: RemoteAllocKind::DirectMap,
+            vma_lock: VmaLockModel::None,
+            evictors: 4,
+            max_evictors: 4,
+            sync_eviction: true,
+            pipelined_eviction: false,
+            eviction_batch: 64,
+            sync_eviction_batch: 32,
+            prefetch: PrefetchPolicy::Readahead { max_window: 8 },
+            virtualized: true,
+            tlb_coherence: true,
+            nic: NicConfig::bluefield2_200g(),
+            costs: CostModel::new(OsProfile::unikernel(), true),
+        }
+    }
+
+    /// The analytic "ideal" system (§3.1): only data-movement costs.
+    pub fn ideal() -> Self {
+        SystemConfig {
+            name: "Ideal",
+            // Zero-cost partitioned LRU: the ideal system has perfect
+            // (software-free) replacement, so it must keep second-chance
+            // accuracy rather than FIFO's approximation.
+            accounting: AccountingKind::PartitionedLru { partitions: 8 },
+            local_alloc: LocalAllocatorKind::MultiLayer,
+            remote_alloc: RemoteAllocKind::DirectMap,
+            vma_lock: VmaLockModel::None,
+            evictors: 4,
+            max_evictors: 4,
+            sync_eviction: false,
+            pipelined_eviction: true,
+            eviction_batch: 256,
+            sync_eviction_batch: 64,
+            prefetch: PrefetchPolicy::None,
+            virtualized: false,
+            tlb_coherence: false,
+            nic: NicConfig::bluefield2_200g(),
+            costs: CostModel::ideal(),
+        }
+    }
+
+    /// Enables readahead prefetching (used by MAGE-Lib in §6.2's
+    /// sequential-scan experiment).
+    pub fn with_prefetch(mut self) -> Self {
+        self.prefetch = PrefetchPolicy::Readahead { max_window: 8 };
+        self
+    }
+
+    /// Overrides the eviction batch size (Fig. 18a sweep).
+    pub fn with_eviction_batch(mut self, batch: usize) -> Self {
+        self.eviction_batch = batch;
+        self
+    }
+
+    /// Swaps the far-memory backend (§8: the design applies to any fast
+    /// swap backend — RDMA memory, NVMe SSDs, compressed RAM).
+    pub fn with_backend(mut self, nic: NicConfig) -> Self {
+        self.nic = nic;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_table() {
+        let lib = SystemConfig::mage_lib();
+        assert!(!lib.sync_eviction && lib.pipelined_eviction);
+        assert_eq!(lib.evictors, 4);
+        assert_eq!(lib.remote_alloc, RemoteAllocKind::DirectMap);
+
+        let hermit = SystemConfig::hermit();
+        assert!(hermit.sync_eviction && !hermit.pipelined_eviction);
+        assert_eq!(hermit.max_evictors, 32);
+        assert_eq!(hermit.remote_alloc, RemoteAllocKind::SwapLock);
+        assert!(!hermit.virtualized, "Hermit runs on bare metal (§6.1)");
+
+        let dilos = SystemConfig::dilos();
+        assert_eq!(dilos.local_alloc, LocalAllocatorKind::GlobalBuddy);
+        assert_eq!(dilos.vma_lock, VmaLockModel::None);
+
+        let lnx = SystemConfig::mage_lnx();
+        assert!(matches!(lnx.accounting, AccountingKind::FifoQueues { .. }));
+        assert!(lnx.nic.gbps() < 150.0, "Linux stack bandwidth ceiling");
+        assert_eq!(lnx.prefetch, PrefetchPolicy::None);
+    }
+
+    #[test]
+    fn ideal_has_no_coherence_cost() {
+        let ideal = SystemConfig::ideal();
+        assert!(!ideal.tlb_coherence);
+        assert_eq!(ideal.costs.os.fault_fixed_ns(), 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = SystemConfig::mage_lib()
+            .with_prefetch()
+            .with_eviction_batch(128);
+        assert_eq!(cfg.eviction_batch, 128);
+        assert!(matches!(cfg.prefetch, PrefetchPolicy::Readahead { .. }));
+    }
+}

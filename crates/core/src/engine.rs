@@ -1,0 +1,754 @@
+//! The far-memory engine: machine assembly and the fault-in path.
+//!
+//! [`FarMemory`] wires every substrate together (NIC, memory node, page
+//! table, TLBs + interrupt controller, local and remote allocators, page
+//! accounting) according to a [`SystemConfig`], launches the background
+//! eviction threads, and exposes the application-facing [`FarMemory::access`]
+//! operation used by workload threads.
+//!
+//! The fault-in path follows §2.1 of the paper (`FP₁`–`FP₃`): trap entry →
+//! VMA lock → PTE fault-dedup lock → frame allocation (waiting for the
+//! evictors under MAGE's P1, or falling back to synchronous eviction in
+//! the baselines) → one-sided RDMA read → PTE install → accounting insert
+//! → TLB fill. Every stage is timed into the Fig. 6/16 breakdown
+//! categories.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+
+use mage_accounting::PageAccounting;
+use mage_fabric::{MemoryNode, Nic};
+use mage_mmu::{
+    AddressSpace, CoreId, InterruptController, PageTable, Pte, Tlb, Topology, Vma, PAGE_SIZE,
+};
+use mage_palloc::{LocalAllocator, RemoteAllocator, SwapBitmap};
+use mage_sim::sync::WaitQueue;
+use mage_sim::time::Nanos;
+use mage_sim::SimHandle;
+
+use crate::config::{RemoteAllocKind, SystemConfig};
+use crate::prefetch::StreamDetector;
+use crate::stats::EngineStats;
+
+/// Machine-level parameters independent of the system design.
+#[derive(Clone, Debug)]
+pub struct MachineParams {
+    /// NUMA topology (defaults to the paper's dual-socket Xeon).
+    pub topo: Topology,
+    /// Number of application threads (thread *i* is pinned to core *i*).
+    pub app_threads: usize,
+    /// Local DRAM quota in pages.
+    pub local_pages: u64,
+    /// Far-memory pool capacity in pages.
+    pub remote_pages: u64,
+    /// Per-core TLB capacity in entries.
+    pub tlb_entries: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl MachineParams {
+    /// The paper's testbed shape with the given thread count and memory
+    /// split.
+    pub fn testbed(app_threads: usize, local_pages: u64, remote_pages: u64) -> Self {
+        MachineParams {
+            topo: Topology::xeon_6348_dual(),
+            app_threads,
+            local_pages,
+            remote_pages,
+            tlb_entries: 1_536,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of one [`FarMemory::access`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Translation was cached; no OS involvement.
+    TlbHit,
+    /// Hardware walk found a present PTE.
+    Minor,
+    /// Major fault serviced from far memory (or first touch).
+    Major {
+        /// End-to-end fault latency in ns.
+        latency: Nanos,
+    },
+}
+
+impl Access {
+    /// The latency attributable to paging for this access.
+    pub fn paging_latency(&self) -> Nanos {
+        match self {
+            Access::Major { latency } => *latency,
+            _ => 0,
+        }
+    }
+}
+
+/// A far-memory machine instance running one system configuration.
+pub struct FarMemory {
+    pub(crate) sim: SimHandle,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) topo: Topology,
+    pub(crate) nic: Rc<Nic>,
+    pub(crate) node: MemoryNode,
+    pub(crate) pt: PageTable,
+    pub(crate) asp: RefCell<AddressSpace>,
+    pub(crate) ic: Rc<InterruptController>,
+    pub(crate) alloc: Rc<LocalAllocator>,
+    pub(crate) remote: RemoteAllocator,
+    pub(crate) acct: Rc<PageAccounting>,
+    pub(crate) app_cores: Vec<CoreId>,
+    pub(crate) evictor_cores: Vec<CoreId>,
+    pub(crate) page_waiters: RefCell<HashMap<u64, Rc<WaitQueue>>>,
+    /// Pages unmapped by an in-flight eviction batch, mapping vpn →
+    /// (frame, generation); a concurrent fault can cancel the eviction by
+    /// reclaiming the entry (the swap-cache-refault / unified-page-table
+    /// dedup of §5.2). The generation tag prevents a finished batch from
+    /// claiming an entry that a *later* batch re-created after a
+    /// cancellation (ABA).
+    pub(crate) evicting: RefCell<HashMap<u64, (u64, u64)>>,
+    pub(crate) evict_gen: Cell<u64>,
+    pub(crate) free_waiters: WaitQueue,
+    pub(crate) active_evictors: Cell<usize>,
+    pub(crate) stop_flag: Cell<bool>,
+    pub(crate) low_watermark: u64,
+    pub(crate) high_watermark: u64,
+    pub(crate) stats: EngineStats,
+    pub(crate) prefetchers: RefCell<Vec<StreamDetector>>,
+    pub(crate) self_ref: RefCell<Weak<FarMemory>>,
+}
+
+impl FarMemory {
+    /// Builds the machine and launches the eviction threads.
+    pub fn launch(sim: SimHandle, cfg: SystemConfig, params: MachineParams) -> Rc<Self> {
+        let topo = params.topo;
+        assert!(
+            params.app_threads <= topo.total_cores() as usize,
+            "more app threads than cores"
+        );
+        let nic = Rc::new(Nic::new(sim.clone(), cfg.nic.clone()));
+        let node = MemoryNode::new(params.remote_pages * PAGE_SIZE);
+        let tlbs: Vec<Rc<Tlb>> = (0..topo.total_cores())
+            .map(|i| Rc::new(Tlb::new(params.tlb_entries, params.seed ^ i as u64)))
+            .collect();
+        let ic = Rc::new(InterruptController::new(
+            sim.clone(),
+            topo,
+            cfg.costs.ipi.clone(),
+            tlbs,
+        ));
+        let alloc = Rc::new(LocalAllocator::new(
+            sim.clone(),
+            cfg.local_alloc,
+            cfg.costs.alloc.clone(),
+            params.local_pages,
+            topo.total_cores() as usize,
+        ));
+        let remote = match cfg.remote_alloc {
+            RemoteAllocKind::DirectMap => RemoteAllocator::DirectMap,
+            RemoteAllocKind::SwapLock => RemoteAllocator::Swap(SwapBitmap::new(
+                sim.clone(),
+                params.remote_pages,
+                cfg.costs.swap_slot_ns,
+            )),
+        };
+        let acct = Rc::new(PageAccounting::new(
+            sim.clone(),
+            cfg.accounting,
+            cfg.costs.accounting.clone(),
+        ));
+        let asp = RefCell::new(AddressSpace::new(sim.clone(), cfg.vma_lock));
+
+        let app_cores: Vec<CoreId> = (0..params.app_threads as u32).map(CoreId).collect();
+        let evictor_cores: Vec<CoreId> = (0..cfg.max_evictors as u32)
+            .map(|j| CoreId((params.app_threads as u32 + j) % topo.total_cores()))
+            .collect();
+
+        let batch = cfg.eviction_batch as u64;
+        // Watermarks scale with both the eviction batch (pipeline depth)
+        // and the memory size (like Linux's min_free_kbytes): tiny batch
+        // sizes must not shrink the free reserve into a starvation churn.
+        let low = (cfg.evictors as u64 * batch)
+            .max(params.local_pages / 64)
+            .max(64)
+            .min(params.local_pages / 8);
+        let high = (3 * low).min(params.local_pages / 2).max(low + 1);
+
+        let engine = Rc::new(FarMemory {
+            sim: sim.clone(),
+            topo,
+            nic,
+            node,
+            pt: PageTable::new(),
+            asp,
+            ic,
+            alloc,
+            remote,
+            acct,
+            app_cores,
+            evictor_cores,
+            page_waiters: RefCell::new(HashMap::new()),
+            evicting: RefCell::new(HashMap::new()),
+            evict_gen: Cell::new(0),
+            free_waiters: WaitQueue::new(),
+            active_evictors: Cell::new(cfg.evictors),
+            stop_flag: Cell::new(false),
+            low_watermark: low,
+            high_watermark: high,
+            stats: EngineStats::default(),
+            prefetchers: RefCell::new(
+                (0..topo.total_cores())
+                    .map(|_| StreamDetector::new())
+                    .collect(),
+            ),
+            self_ref: RefCell::new(Weak::new()),
+            cfg,
+        });
+        *engine.self_ref.borrow_mut() = Rc::downgrade(&engine);
+
+        // Launch the background eviction threads and, for Hermit-style
+        // feedback-directed asynchrony, the scaling controller.
+        for id in 0..engine.cfg.max_evictors {
+            let e = Rc::clone(&engine);
+            sim.spawn(async move { e.evictor_main(id).await });
+        }
+        if engine.cfg.max_evictors > engine.cfg.evictors {
+            let e = Rc::clone(&engine);
+            sim.spawn(async move { e.scaling_controller().await });
+        }
+        engine
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The machine topology.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The simulated NIC.
+    pub fn nic(&self) -> &Rc<Nic> {
+        &self.nic
+    }
+
+    /// The interrupt controller (TLBs, IPIs).
+    pub fn interrupts(&self) -> &Rc<InterruptController> {
+        &self.ic
+    }
+
+    /// The local frame allocator.
+    pub fn allocator(&self) -> &Rc<LocalAllocator> {
+        &self.alloc
+    }
+
+    /// The page accounting structure.
+    pub fn accounting(&self) -> &Rc<PageAccounting> {
+        &self.acct
+    }
+
+    /// The far-memory node bookkeeping.
+    pub fn memory_node(&self) -> &MemoryNode {
+        &self.node
+    }
+
+    /// Free-page low watermark (eviction trigger).
+    pub fn low_watermark(&self) -> u64 {
+        self.low_watermark
+    }
+
+    /// Free-page high watermark (eviction target).
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+    }
+
+    /// Signals the background threads to exit.
+    pub fn shutdown(&self) {
+        self.stop_flag.set(true);
+    }
+
+    /// Maps a new region of `pages` pages.
+    pub fn mmap(&self, pages: u64) -> Vma {
+        let vma = self.asp.borrow_mut().mmap(pages);
+        let registered = self
+            .node
+            .register(pages * PAGE_SIZE, true)
+            .expect("memory node capacity exceeded");
+        debug_assert!(registered.len >= pages * PAGE_SIZE);
+        vma
+    }
+
+    /// Initially places the region's pages: local frames are consumed
+    /// until only the high watermark remains free; every further page
+    /// starts remote. Local pages are dirty (no remote copy yet).
+    ///
+    /// Runs synchronously at setup time (no virtual time passes).
+    pub fn populate(&self, vma: &Vma) {
+        let mut core = 0usize;
+        for i in 0..vma.pages {
+            let vpn = vma.start_vpn + i;
+            if self.alloc.free_frames() > self.high_watermark {
+                let frames = self.alloc.seed_take(1);
+                let frame = frames[0];
+                // Placed, not accessed: the application has not touched
+                // the page yet, so it must look cold to the first scan
+                // (seeding it hot would make the first eviction wave
+                // strip accessed bits across the whole residency with no
+                // victims to show for it). It is dirty: no remote copy
+                // exists yet.
+                self.pt.set(vpn, Pte::present(frame).with_dirty(true));
+                self.acct.seed(core, vpn);
+                core = (core + 1) % self.app_cores.len().max(1);
+            } else {
+                let rpn = match &self.remote {
+                    RemoteAllocator::DirectMap => vma.remote_page(vpn),
+                    RemoteAllocator::Swap(bitmap) => {
+                        bitmap.seed_alloc().expect("swap capacity exceeded")
+                    }
+                };
+                self.pt.set(vpn, Pte::remote(rpn));
+            }
+        }
+    }
+
+    /// Places every page of the region in far memory regardless of local
+    /// capacity (the §3.2 microbenchmark setup: pages pre-evicted with
+    /// `madvise_pageout` so that each access faults).
+    ///
+    /// Runs synchronously at setup time.
+    pub fn populate_all_remote(&self, vma: &Vma) {
+        for i in 0..vma.pages {
+            let vpn = vma.start_vpn + i;
+            let rpn = match &self.remote {
+                RemoteAllocator::DirectMap => vma.remote_page(vpn),
+                RemoteAllocator::Swap(bitmap) => {
+                    bitmap.seed_alloc().expect("swap capacity exceeded")
+                }
+            };
+            self.pt.set(vpn, Pte::remote(rpn));
+        }
+    }
+
+    /// Performs one page access from `core`. This is the application-facing
+    /// entry point: TLB hit, hardware walk, or full page fault.
+    pub async fn access(&self, core: CoreId, vpn: u64, write: bool) -> Access {
+        self.stats.accesses.inc();
+        // Interrupt handling (TLB shootdown IPIs) steals time from this
+        // core's thread; account for it before the access proceeds.
+        let stolen = self.ic.take_stolen(core);
+        if stolen > 0 {
+            self.sim.sleep(stolen).await;
+        }
+        if self.ic.tlb(core).lookup(vpn) {
+            self.stats.tlb_hits.inc();
+            if write {
+                self.pt.update(vpn, |p| p.with_dirty(true));
+            }
+            return Access::TlbHit;
+        }
+        self.sim.sleep(self.cfg.costs.hw_walk_ns).await;
+        let pte = self.pt.get(vpn);
+        if pte.is_present() {
+            self.pt.update(vpn, |p| {
+                p.with_accessed(true).with_dirty(p.dirty() || write)
+            });
+            self.ic.tlb(core).fill(vpn);
+            self.stats.minor_walks.inc();
+            // Readahead retrigger: the first touch of a prefetched page is
+            // a minor walk (it is not TLB-resident yet), which acts as the
+            // PG_readahead marker keeping the window ahead of the stream.
+            self.maybe_prefetch(core, vpn);
+            return Access::Minor;
+        }
+        let latency = self.fault_in(core, vpn, write).await;
+        Access::Major { latency }
+    }
+
+    /// The major-fault path (`FP₁`–`FP₃`).
+    async fn fault_in(&self, core: CoreId, vpn: u64, write: bool) -> Nanos {
+        let costs = self.cfg.costs.clone();
+        let t0 = self.sim.now();
+        self.sim
+            .sleep(costs.os.fault_entry_ns + costs.os.pt_walk_ns + costs.os.swapcache_ns)
+            .await;
+
+        // Address-space metadata lock (Linux-derived systems only).
+        let vma_lock = self.asp.borrow().lock_for(vpn).cloned();
+        if let Some(l) = vma_lock {
+            let guard = l.lock().await;
+            self.sim.sleep(costs.vma_lock_hold_ns).await;
+            drop(guard);
+        }
+
+        // PTE fault-dedup lock (unified-page-table style, §5.2).
+        loop {
+            let pte = self.pt.get(vpn);
+            if pte.is_present() {
+                // Another thread (or a prefetch) resolved the fault.
+                self.pt.update(vpn, |p| {
+                    p.with_accessed(true).with_dirty(p.dirty() || write)
+                });
+                self.ic.tlb(core).fill(vpn);
+                self.stats.prefetch_inflight_hits.inc();
+                let total = self.sim.now().saturating_since(t0);
+                self.stats.record_fault(total, 0);
+                return total;
+            }
+            if pte.locked() {
+                // Refault on a page mid-eviction: cancel the eviction and
+                // re-map the still-intact frame (swap-cache refault).
+                let cancelled = self.evicting.borrow_mut().remove(&vpn);
+                if let Some((frame, _gen)) = cancelled {
+                    self.sim.sleep(costs.os.pte_update_ns).await;
+                    // The remote copy may be stale, so the page must be
+                    // considered dirty from here on.
+                    self.pt.set(
+                        vpn,
+                        Pte::present(frame).with_accessed(true).with_dirty(true),
+                    );
+                    self.acct.insert(core.index(), vpn).await;
+                    self.ic.tlb(core).fill(vpn);
+                    self.wake_page(vpn);
+                    self.stats.evict_cancels.inc();
+                    let total = self.sim.now().saturating_since(t0);
+                    self.stats.record_fault(total, 0);
+                    return total;
+                }
+                self.stats.page_lock_waits.inc();
+                self.wait_for_page(vpn).await;
+                continue;
+            }
+            let locked = self.pt.try_lock(vpn);
+            debug_assert!(locked, "PTE lock raced on a single-threaded executor");
+            break;
+        }
+        let pte = self.pt.get(vpn);
+        let was_remote = pte.is_remote();
+        let rpn = pte.payload();
+
+        // FP₁: obtain a free frame. MAGE (P1) never evicts here — it waits
+        // for the dedicated evictors; the baselines fall back to
+        // synchronous eviction, paying shootdowns on the critical path.
+        let t_circ = self.sim.now();
+        let mut sync_tlb_ns: Nanos = 0;
+        let mut sync_acct_ns: Nanos = 0;
+        let frame = loop {
+            if let Some(f) = self.alloc.alloc(core.index()).await {
+                break f;
+            }
+            if self.cfg.sync_eviction {
+                let outcome = self
+                    .evict_batch(core, core.index(), 0, self.cfg.sync_eviction_batch, true)
+                    .await;
+                sync_tlb_ns += outcome.tlb_ns;
+                sync_acct_ns += outcome.acct_ns;
+                if outcome.pages == 0 {
+                    // Nothing evictable right now; let others make progress.
+                    self.sim.sleep(1_000).await;
+                }
+            } else {
+                let t_w = self.sim.now();
+                self.free_waiters.wait().await;
+                self.stats
+                    .free_wait
+                    .borrow_mut()
+                    .record(self.sim.now().saturating_since(t_w));
+            }
+        };
+        let circ_ns = self
+            .sim
+            .now()
+            .saturating_since(t_circ)
+            .saturating_sub(sync_tlb_ns + sync_acct_ns);
+
+        // FP₂: fetch the page contents over RDMA (not needed on first
+        // touch, which zero-fills).
+        let mut rdma_ns: Nanos = 0;
+        let mut slot_ns: Nanos = 0;
+        if was_remote {
+            let t_r = self.sim.now();
+            self.sim.sleep(costs.os.rdma_post_cpu_ns).await;
+            self.nic.post_read(PAGE_SIZE).await;
+            rdma_ns = self.sim.now().saturating_since(t_r);
+            // Release the swap slot (Linux frees it on swap-in); direct
+            // mapping keeps the address-derived slot reserved.
+            let t_s = self.sim.now();
+            self.remote.release(rpn).await;
+            slot_ns = self.sim.now().saturating_since(t_s);
+        }
+
+        // FP₃: install the mapping and account the page.
+        self.sim
+            .sleep(costs.os.pte_update_ns + costs.os.rmap_cgroup_ns)
+            .await;
+        self.pt.set(
+            vpn,
+            Pte::present(frame)
+                .with_accessed(true)
+                .with_dirty(write || !was_remote),
+        );
+        let t_a = self.sim.now();
+        self.acct.insert(core.index(), vpn).await;
+        let acct_ns = self.sim.now().saturating_since(t_a) + sync_acct_ns;
+        self.ic.tlb(core).fill(vpn);
+        self.wake_page(vpn);
+
+        // Readahead.
+        self.maybe_prefetch(core, vpn);
+
+        let b = &self.stats.breakdown;
+        b.rdma.borrow_mut().record(rdma_ns);
+        b.tlb.borrow_mut().record(sync_tlb_ns);
+        b.accounting.borrow_mut().record(acct_ns);
+        b.circulation.borrow_mut().record(circ_ns + slot_ns);
+        let total = self.sim.now().saturating_since(t0);
+        self.stats
+            .record_fault(total, rdma_ns + sync_tlb_ns + acct_ns + circ_ns + slot_ns);
+        total
+    }
+
+    pub(crate) async fn wait_for_page(&self, vpn: u64) {
+        let queue = {
+            let mut waiters = self.page_waiters.borrow_mut();
+            Rc::clone(
+                waiters
+                    .entry(vpn)
+                    .or_insert_with(|| Rc::new(WaitQueue::new())),
+            )
+        };
+        queue.wait().await;
+    }
+
+    pub(crate) fn wake_page(&self, vpn: u64) {
+        if let Some(q) = self.page_waiters.borrow_mut().remove(&vpn) {
+            q.wake_all();
+        }
+    }
+
+    /// Drains stolen interrupt time for `core` without performing an
+    /// access (used by workloads during pure-compute stretches).
+    pub fn take_stolen(&self, core: CoreId) -> Nanos {
+        self.ic.take_stolen(core)
+    }
+
+    /// Multiplies `compute_ns` by the configured virtualization inflation.
+    pub fn inflate_compute(&self, compute_ns: Nanos) -> Nanos {
+        compute_ns + compute_ns * self.cfg.costs.os.compute_inflation_pct as u64 / 100
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mage_sim::Simulation;
+
+    fn small_machine(cfg: SystemConfig) -> (Simulation, Rc<FarMemory>, Vma) {
+        let sim = Simulation::new();
+        let params = MachineParams {
+            topo: Topology::single_socket(8),
+            app_threads: 4,
+            local_pages: 512,
+            remote_pages: 4_096,
+            tlb_entries: 64,
+            seed: 7,
+        };
+        let engine = FarMemory::launch(sim.handle(), cfg, params);
+        let vma = engine.mmap(1_024);
+        engine.populate(&vma);
+        (sim, engine, vma)
+    }
+
+    #[test]
+    fn populate_splits_local_and_remote() {
+        let (_sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let mut local = 0;
+        let mut remote = 0;
+        for i in 0..vma.pages {
+            let pte = engine.pt.get(vma.start_vpn + i);
+            if pte.is_present() {
+                local += 1;
+            } else {
+                assert!(pte.is_remote());
+                remote += 1;
+            }
+        }
+        assert!(local > 0 && remote > 0);
+        assert_eq!(local + remote, 1_024);
+        // Free pages left at the high watermark.
+        assert_eq!(engine.allocator().free_frames(), engine.high_watermark());
+        assert_eq!(engine.accounting().resident_pages(), local);
+    }
+
+    #[test]
+    fn local_access_is_cheap_remote_access_faults() {
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            // Find one local and one remote page.
+            let local_vpn = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .find(|&v| e.pt.get(v).is_present())
+                .expect("some local page");
+            let remote_vpn = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .find(|&v| e.pt.get(v).is_remote())
+                .expect("some remote page");
+
+            let a = e.access(CoreId(0), local_vpn, false).await;
+            assert_eq!(a, Access::Minor, "first touch walks");
+            let a = e.access(CoreId(0), local_vpn, false).await;
+            assert_eq!(a, Access::TlbHit);
+
+            let t0 = e.sim.now();
+            let a = e.access(CoreId(1), remote_vpn, false).await;
+            let lat = e.sim.now() - t0;
+            assert!(matches!(a, Access::Major { .. }));
+            assert!(lat >= 3_900, "must include the RDMA read: {lat}");
+            // Now present and hot.
+            let a = e.access(CoreId(1), remote_vpn, false).await;
+            assert_eq!(a, Access::TlbHit);
+        });
+        assert_eq!(engine.stats().major_faults.get(), 1);
+        assert_eq!(engine.nic().stats().reads.get(), 1);
+    }
+
+    #[test]
+    fn write_sets_dirty_through_tlb() {
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            let remote_vpn = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .find(|&v| e.pt.get(v).is_remote())
+                .expect("some remote page");
+            e.access(CoreId(0), remote_vpn, false).await;
+            assert!(!e.pt.get(remote_vpn).dirty(), "clean after read fault");
+            e.access(CoreId(0), remote_vpn, true).await;
+            assert!(e.pt.get(remote_vpn).dirty(), "TLB-hit write sets dirty");
+        });
+    }
+
+    #[test]
+    fn fault_dedup_single_rdma_read() {
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        let remote_vpn = (0..vma.pages)
+            .map(|i| vma.start_vpn + i)
+            .find(|&v| e.pt.get(v).is_remote())
+            .expect("some remote page");
+        // Four threads fault the same page concurrently.
+        let mut joins = Vec::new();
+        for c in 0..4u32 {
+            let e = Rc::clone(&engine);
+            joins.push(sim.spawn(async move { e.access(CoreId(c), remote_vpn, false).await }));
+        }
+        let results = sim.block_on(async move {
+            let mut out = Vec::new();
+            for j in joins {
+                out.push(j.await);
+            }
+            out
+        });
+        assert!(results.iter().all(|a| matches!(a, Access::Major { .. })));
+        assert_eq!(
+            engine.nic().stats().reads.get(),
+            1,
+            "dedup: one RDMA read for four concurrent faults"
+        );
+        assert!(engine.stats().page_lock_waits.get() >= 1);
+    }
+
+    #[test]
+    fn eviction_sustains_fault_streams() {
+        // Touch far more pages than fit locally; the background evictors
+        // must keep the fault path supplied with frames.
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            for i in 0..vma.pages {
+                e.access(CoreId(0), vma.start_vpn + i, false).await;
+            }
+        });
+        assert!(engine.stats().major_faults.get() > 400);
+        assert_eq!(engine.stats().sync_evictions.get(), 0, "MAGE P1");
+        assert!(engine.stats().evicted_pages.get() > 0);
+        // Conservation: frames in flight + free == local quota.
+        assert!(engine.allocator().free_frames() <= 512);
+    }
+
+    #[test]
+    fn hermit_uses_sync_eviction_under_pressure() {
+        let (sim, engine, vma) = small_machine(SystemConfig::hermit());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            for i in 0..vma.pages {
+                e.access(CoreId(0), vma.start_vpn + i, false).await;
+            }
+        });
+        assert!(engine.stats().major_faults.get() > 400);
+    }
+
+    #[test]
+    fn pageout_forces_pages_remote() {
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            // Find a handful of local pages and page them out.
+            let local: Vec<u64> = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .filter(|&v| e.pt.get(v).is_present())
+                .take(16)
+                .collect();
+            let n = e.pageout(CoreId(0), &local).await;
+            assert_eq!(n, 16);
+            for &vpn in &local {
+                assert!(e.pt.get(vpn).is_remote(), "page {vpn:#x} still local");
+                assert!(!e.pt.get(vpn).locked(), "page {vpn:#x} left locked");
+            }
+            // Accessing a paged-out page faults it back in.
+            let a = e.access(CoreId(1), local[0], false).await;
+            assert!(matches!(a, Access::Major { .. }));
+        });
+        // Populate marks local pages dirty, so all 16 were written back.
+        assert!(engine.stats().writebacks.get() >= 16);
+    }
+
+    #[test]
+    fn stale_tlb_never_survives_eviction() {
+        // After a page is evicted and reclaimed, accessing it again must
+        // fault (not hit a stale TLB entry).
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            // Touch every page twice (fills TLBs), forcing evictions.
+            for round in 0..2 {
+                for i in 0..vma.pages {
+                    e.access(CoreId((i % 4) as u32), vma.start_vpn + i, round == 0)
+                        .await;
+                }
+            }
+            // Any page that is now remote must not be TLB-resident anywhere.
+            for i in 0..vma.pages {
+                let vpn = vma.start_vpn + i;
+                if e.pt.get(vpn).is_remote() {
+                    for c in 0..4u32 {
+                        assert!(
+                            !e.ic.tlb(CoreId(c)).translates(vpn),
+                            "stale TLB entry for evicted page {vpn:#x} on core {c}"
+                        );
+                    }
+                }
+            }
+        });
+    }
+}

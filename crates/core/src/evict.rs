@@ -1,0 +1,570 @@
+//! The eviction path: sequential batches, synchronous fallback, and
+//! MAGE's cross-batch pipelined evictor.
+//!
+//! The eviction of one batch follows the seven steps of §4.1:
+//!
+//! 1. slice a batch from the accounting lists, allocate remote slots and
+//!    unmap the pages (`scan_and_unmap`),
+//! 2. initiate the TLB-flush IPIs and move the batch to the **TLB staging
+//!    buffer** (TSB),
+//! 3. wait for flush completion,
+//! 4. move flushed dirty pages to a local buffer,
+//! 5. initiate RDMA writes and move the batch to the **RDMA staging
+//!    buffer** (RSB),
+//! 6. wait for write completion,
+//! 7. reclaim the frames (`finalize_batch`).
+//!
+//! The **sequential** evictor (Hermit/DiLOS) performs 1–7 for one batch
+//! before starting the next. The **pipelined** evictor (MAGE, P2) uses
+//! the waiting periods of steps 3 and 6 to advance other batches: up to
+//! three batches are in flight, and the evictor's event loop harvests
+//! whichever stage completed first.
+//!
+//! Safety invariant (checked in debug builds): a frame is reclaimed only
+//! after every core's TLB entry for the page is gone *and* the page's
+//! remote copy is durable.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use mage_fabric::Completion;
+use mage_mmu::{CoreId, FlushTicket, Pte, PAGE_SIZE};
+use mage_sim::time::Nanos;
+
+use crate::engine::FarMemory;
+
+/// One page moving through the eviction pipeline.
+pub(crate) struct EvictPage {
+    vpn: u64,
+    frame: u64,
+    dirty: bool,
+    /// Generation tag matching this page's entry in `FarMemory::evicting`.
+    gen: u64,
+}
+
+/// Timing contributions of one (possibly synchronous) eviction batch.
+pub(crate) struct EvictOutcome {
+    /// Pages evicted.
+    pub pages: usize,
+    /// Time spent waiting on the TLB shootdown.
+    pub tlb_ns: Nanos,
+    /// Time spent in accounting scans.
+    pub acct_ns: Nanos,
+}
+
+/// In-flight state of a pipelined evictor: the TSB and RSB of §4.1.
+pub(crate) struct Pipeline {
+    /// Batches whose shootdown is in flight (TLB staging buffer).
+    tsb: VecDeque<(Vec<EvictPage>, FlushTicket)>,
+    /// Batches whose RDMA writes are in flight (RDMA staging buffer).
+    rsb: VecDeque<(Vec<EvictPage>, Option<Completion>)>,
+}
+
+impl Pipeline {
+    pub(crate) fn new() -> Self {
+        Pipeline {
+            tsb: VecDeque::new(),
+            rsb: VecDeque::new(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.tsb.len() + self.rsb.len()
+    }
+
+    /// Pages currently unmapped but not yet reclaimed.
+    fn in_flight_pages(&self) -> usize {
+        self.tsb.iter().map(|(b, _)| b.len()).sum::<usize>()
+            + self.rsb.iter().map(|(b, _)| b.len()).sum::<usize>()
+    }
+}
+
+impl FarMemory {
+    /// Background evictor thread `id`. Only the first
+    /// `active_evictors` threads do work (feedback-directed scaling).
+    pub(crate) async fn evictor_main(self: Rc<Self>, id: usize) {
+        let core = self.evictor_cores[id % self.evictor_cores.len()];
+        let mut round = id; // staggered start (§4.2.2)
+        let mut pipe = Pipeline::new();
+        loop {
+            if self.stop_flag.get() {
+                break;
+            }
+            if id >= self.active_evictors.get() {
+                self.sim.sleep(100_000).await;
+                continue;
+            }
+            let deficit = self.alloc.free_frames() < self.high_watermark;
+            if self.cfg.pipelined_eviction {
+                let progressed = self
+                    .pipeline_step(core, id, &mut round, &mut pipe, deficit)
+                    .await;
+                if !progressed {
+                    self.sim.sleep(10_000).await;
+                }
+            } else {
+                if !deficit {
+                    self.sim.sleep(10_000).await;
+                    continue;
+                }
+                let outcome = self
+                    .evict_batch(core, id, round, self.cfg.eviction_batch, false)
+                    .await;
+                round += 1;
+                if outcome.pages == 0 {
+                    self.sim.sleep(10_000).await;
+                }
+            }
+        }
+    }
+
+    /// Hermit's feedback-directed controller: doubles the evictor pool
+    /// when free pages run low, halves it when pressure subsides.
+    pub(crate) async fn scaling_controller(self: Rc<Self>) {
+        loop {
+            if self.stop_flag.get() {
+                break;
+            }
+            self.sim.sleep(100_000).await;
+            let free = self.alloc.free_frames();
+            let active = self.active_evictors.get();
+            if free < self.low_watermark && active < self.cfg.max_evictors {
+                self.active_evictors
+                    .set((active * 2).min(self.cfg.max_evictors));
+            } else if free > self.high_watermark && active > self.cfg.evictors {
+                self.active_evictors
+                    .set((active / 2).max(self.cfg.evictors));
+            }
+        }
+    }
+
+    /// Whether the page was accessed since the last scan; clears the bit
+    /// (the second-chance test of `EP₁`).
+    fn page_is_hot(&self, vpn: u64) -> bool {
+        let old = self.pt.update(vpn, |p| p.with_accessed(false));
+        old.accessed()
+    }
+
+    /// Steps ① of §4.1: select victims, allocate remote slots, unmap.
+    ///
+    /// Returns the unmapped batch; pages are left `remote + locked` so
+    /// concurrent faults wait until the writeback is durable.
+    async fn scan_and_unmap(
+        &self,
+        evictor_id: usize,
+        round: usize,
+        want: usize,
+    ) -> (Vec<EvictPage>, Nanos) {
+        let t0 = self.sim.now();
+        let mut victims = Vec::new();
+        self.acct
+            .take_victims(
+                evictor_id,
+                round,
+                want,
+                &|vpn| self.page_is_hot(vpn),
+                &mut victims,
+            )
+            .await;
+        let acct_ns = self.sim.now().saturating_since(t0);
+        let mut batch = Vec::with_capacity(victims.len());
+        let unmap_cost = self.cfg.costs.os.pte_update_ns
+            + self.cfg.costs.os.rmap_cgroup_ns
+            + self.cfg.costs.os.swapcache_ns;
+        for vpn in victims {
+            let pte = self.pt.get(vpn);
+            if !pte.is_present() || pte.locked() {
+                continue; // raced with an unmap or an in-flight fault
+            }
+            let direct_rpn = {
+                let asp = self.asp.borrow();
+                match asp.find(vpn) {
+                    Some(vma) => vma.remote_page(vpn),
+                    None => continue,
+                }
+            };
+            self.sim.sleep(unmap_cost).await;
+            let rpn = match self.remote.alloc_for(direct_rpn).await {
+                Some(r) => r,
+                None => continue, // far memory exhausted; skip the page
+            };
+            let frame = pte.payload();
+            let dirty = pte.dirty();
+            self.pt.set(vpn, Pte::remote(rpn).with_locked(true));
+            let gen = self.evict_gen.get();
+            self.evict_gen.set(gen + 1);
+            self.evicting.borrow_mut().insert(vpn, (frame, gen));
+            batch.push(EvictPage {
+                vpn,
+                frame,
+                dirty,
+                gen,
+            });
+        }
+        (batch, acct_ns)
+    }
+
+    /// Steps ②–③ initiation: send the batched shootdown IPIs.
+    async fn send_shootdown(&self, core: CoreId, batch: &[EvictPage]) -> FlushTicket {
+        let vpns: Vec<u64> = batch.iter().map(|p| p.vpn).collect();
+        self.ic.send_flush(core, &self.app_cores, &vpns).await
+    }
+
+    /// Steps ④–⑤: post the RDMA writebacks for flushed pages.
+    ///
+    /// Clean pages whose remote copy is still valid (direct mapping) skip
+    /// the write; under a swap allocator the slot is fresh, so every page
+    /// is written.
+    async fn post_writebacks(&self, batch: &[EvictPage]) -> Option<Completion> {
+        let must_write_clean = self.remote.is_synchronized();
+        let mut last = None;
+        let mut wrote = 0u64;
+        for page in batch {
+            if page.dirty || must_write_clean {
+                last = Some(self.nic.post_write(PAGE_SIZE));
+                wrote += 1;
+            } else {
+                self.stats.clean_reclaims.inc();
+            }
+        }
+        if wrote > 0 {
+            // Doorbell-batched posting cost for the whole group.
+            self.sim
+                .sleep(
+                    self.cfg.costs.os.rdma_post_cpu_ns
+                        + self.cfg.costs.evict_post_per_page_ns * (wrote - 1),
+                )
+                .await;
+            self.stats.writebacks.add(wrote);
+        }
+        last
+    }
+
+    /// Step ⑦: reclaim the frames, release the page locks and wake both
+    /// page waiters and threads stalled on the free list.
+    async fn finalize_batch(&self, core: CoreId, batch: &[EvictPage], sync: bool) {
+        let mut frames = Vec::with_capacity(batch.len());
+        for page in batch {
+            // A concurrent refault may have cancelled this page's
+            // eviction and reclaimed the frame — and the page may even be
+            // mid-eviction again under a *newer* batch. Only the batch
+            // whose generation still owns the entry may reclaim.
+            {
+                let mut evicting = self.evicting.borrow_mut();
+                match evicting.get(&page.vpn) {
+                    Some(&(_, gen)) if gen == page.gen => {
+                        evicting.remove(&page.vpn);
+                    }
+                    _ => {
+                        self.stats.evict_cancelled_pages.inc();
+                        continue;
+                    }
+                }
+            }
+            #[cfg(debug_assertions)]
+            for c in self.topo.cores() {
+                debug_assert!(
+                    !self.ic.tlb(c).translates(page.vpn),
+                    "frame reclaim with live translation: vpn {:#x} core {c:?}",
+                    page.vpn
+                );
+            }
+            self.pt.update(page.vpn, |p| p.with_locked(false));
+            self.wake_page(page.vpn);
+            frames.push(page.frame);
+        }
+        self.alloc.free_batch(core.index(), &frames).await;
+        self.free_waiters.wake_all();
+        self.stats.eviction_batches.inc();
+        if sync {
+            self.stats.sync_evicted_pages.add(batch.len() as u64);
+        } else {
+            self.stats.evicted_pages.add(batch.len() as u64);
+        }
+    }
+
+    /// Force-evicts the given present pages (an `madvise(MADV_PAGEOUT)`
+    /// analogue, the mechanism the paper's §3.2 microbenchmarks use to
+    /// pre-evict pages). Runs the full unmap → shootdown → writeback →
+    /// reclaim sequence synchronously on the calling core and returns the
+    /// number of pages actually paged out.
+    pub async fn pageout(&self, core: CoreId, vpns: &[u64]) -> usize {
+        let unmap_cost = self.cfg.costs.os.pte_update_ns
+            + self.cfg.costs.os.rmap_cgroup_ns
+            + self.cfg.costs.os.swapcache_ns;
+        let mut batch = Vec::new();
+        for &vpn in vpns {
+            let pte = self.pt.get(vpn);
+            if !pte.is_present() || pte.locked() {
+                continue;
+            }
+            let direct_rpn = {
+                let asp = self.asp.borrow();
+                match asp.find(vpn) {
+                    Some(vma) => vma.remote_page(vpn),
+                    None => continue,
+                }
+            };
+            self.sim.sleep(unmap_cost).await;
+            let Some(rpn) = self.remote.alloc_for(direct_rpn).await else {
+                continue;
+            };
+            let frame = pte.payload();
+            let dirty = pte.dirty();
+            self.pt.set(vpn, Pte::remote(rpn).with_locked(true));
+            let gen = self.evict_gen.get();
+            self.evict_gen.set(gen + 1);
+            self.evicting.borrow_mut().insert(vpn, (frame, gen));
+            batch.push(EvictPage {
+                vpn,
+                frame,
+                dirty,
+                gen,
+            });
+        }
+        if batch.is_empty() {
+            return 0;
+        }
+        let ticket = self.send_shootdown(core, &batch).await;
+        ticket.wait().await;
+        if let Some(completion) = self.post_writebacks(&batch).await {
+            completion.await;
+        }
+        self.finalize_batch(core, &batch, false).await;
+        batch.len()
+    }
+
+    /// A full sequential eviction batch (steps ①–⑦ with blocking waits).
+    ///
+    /// Used by the background evictors of non-pipelined systems and by
+    /// the synchronous-eviction fallback on the fault path (`sync`).
+    pub(crate) async fn evict_batch(
+        &self,
+        core: CoreId,
+        evictor_id: usize,
+        round: usize,
+        want: usize,
+        sync: bool,
+    ) -> EvictOutcome {
+        if sync {
+            self.stats.sync_evictions.inc();
+        }
+        let (batch, acct_ns) = self.scan_and_unmap(evictor_id, round, want).await;
+        if batch.is_empty() {
+            return EvictOutcome {
+                pages: 0,
+                tlb_ns: 0,
+                acct_ns,
+            };
+        }
+        let t_tlb = self.sim.now();
+        let ticket = self.send_shootdown(core, &batch).await;
+        ticket.wait().await;
+        let tlb_ns = self.sim.now().saturating_since(t_tlb);
+        if let Some(completion) = self.post_writebacks(&batch).await {
+            completion.await;
+        }
+        self.finalize_batch(core, &batch, sync).await;
+        EvictOutcome {
+            pages: batch.len(),
+            tlb_ns,
+            acct_ns,
+        }
+    }
+
+    /// One event-loop step of the pipelined evictor. Returns whether any
+    /// stage made progress (if not, the caller idles briefly).
+    pub(crate) async fn pipeline_step(
+        &self,
+        core: CoreId,
+        evictor_id: usize,
+        round: &mut usize,
+        pipe: &mut Pipeline,
+        deficit: bool,
+    ) -> bool {
+        let now = self.sim.now();
+        let mut progressed = false;
+
+        // Step ⑦: harvest write-complete batches from the RSB.
+        while pipe
+            .rsb
+            .front()
+            .is_some_and(|(_, c)| c.as_ref().map_or(true, |c| c.completes_at() <= now))
+        {
+            let (batch, _) = pipe.rsb.pop_front().expect("checked non-empty");
+            self.finalize_batch(core, &batch, false).await;
+            progressed = true;
+        }
+
+        // Steps ④–⑤: move TLB-acked batches from the TSB to the RSB.
+        while pipe.tsb.front().is_some_and(|(_, t)| t.done_at() <= now) {
+            let (batch, _) = pipe.tsb.pop_front().expect("checked non-empty");
+            let completion = self.post_writebacks(&batch).await;
+            pipe.rsb.push_back((batch, completion));
+            progressed = true;
+        }
+
+        // Steps ①–②: start a fresh batch while there is memory pressure
+        // and pipeline capacity (three batches in flight, §4.1). Pace the
+        // refill to the actual free-page deficit: firing the whole
+        // pipeline the instant the watermark is crossed produces periodic
+        // IPI storms that needlessly spike application tail latency.
+        let shortfall = self.high_watermark.saturating_sub(self.alloc.free_frames()) as usize;
+        if deficit && pipe.depth() < 3 && pipe.in_flight_pages() < shortfall {
+            let (batch, _acct) = self
+                .scan_and_unmap(evictor_id, *round, self.cfg.eviction_batch)
+                .await;
+            *round += 1;
+            if !batch.is_empty() {
+                let ticket = self.send_shootdown(core, &batch).await;
+                pipe.tsb.push_back((batch, ticket));
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            // Steps ③/⑥: sleep until the earliest in-flight completion
+            // instead of spinning.
+            let next_tlb = pipe.tsb.front().map(|(_, t)| t.done_at());
+            let next_rdma = pipe
+                .rsb
+                .front()
+                .and_then(|(_, c)| c.as_ref().map(|c| c.completes_at()));
+            let next = match (next_tlb, next_rdma) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            if let Some(t) = next {
+                self.sim.sleep_until(t).await;
+                return true;
+            }
+        }
+        progressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use mage_mmu::{CoreId, Topology};
+    use mage_sim::Simulation;
+
+    use crate::engine::{Access, FarMemory, MachineParams};
+    use crate::SystemConfig;
+
+    fn rig(cfg: SystemConfig, local_pages: u64) -> (Simulation, Rc<FarMemory>, mage_mmu::Vma) {
+        let sim = Simulation::new();
+        let params = MachineParams {
+            topo: Topology::single_socket(8),
+            app_threads: 4,
+            local_pages,
+            remote_pages: 8_192,
+            tlb_entries: 128,
+            seed: 11,
+        };
+        let engine = FarMemory::launch(sim.handle(), cfg, params);
+        let vma = engine.mmap(2_048);
+        engine.populate(&vma);
+        (sim, engine, vma)
+    }
+
+    #[test]
+    fn refault_cancels_inflight_eviction() {
+        let (sim, engine, vma) = rig(SystemConfig::mage_lib(), 512);
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            let vpn = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .find(|&v| e.pt.get(v).is_present())
+                .expect("local page");
+            let frame = e.pt.get(vpn).payload();
+            // Simulate the page being mid-eviction (unmapped, locked,
+            // shootdown/writeback pending).
+            e.pt.set(vpn, mage_mmu::Pte::remote(7).with_locked(true));
+            e.evicting.borrow_mut().insert(vpn, (frame, 424242));
+            let access = e.access(CoreId(0), vpn, false).await;
+            assert!(matches!(access, Access::Major { .. }));
+            assert_eq!(e.stats.evict_cancels.get(), 1);
+            let pte = e.pt.get(vpn);
+            assert!(pte.is_present(), "cancelled page must be re-mapped");
+            assert_eq!(pte.payload(), frame, "same frame reclaimed");
+            assert!(pte.dirty(), "remote copy may be stale => dirty");
+            assert!(e.evicting.borrow().is_empty(), "cancel consumed the entry");
+        });
+    }
+
+    #[test]
+    fn stale_generation_is_not_reclaimed_by_old_batch() {
+        // A cancelled-and-re-evicted page must only be finalized by the
+        // batch that currently owns it (ABA protection).
+        let (sim, engine, vma) = rig(SystemConfig::mage_lib(), 512);
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            let vpn = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .find(|&v| e.pt.get(v).is_present())
+                .expect("local page");
+            let frame = e.pt.get(vpn).payload();
+            e.pt.set(vpn, mage_mmu::Pte::remote(7).with_locked(true));
+            // Newer generation owns the entry.
+            e.evicting.borrow_mut().insert(vpn, (frame, 2));
+            let old_batch = vec![super::EvictPage {
+                vpn,
+                frame,
+                dirty: false,
+                gen: 1,
+            }];
+            let free_before = e.alloc.free_frames();
+            e.finalize_batch(CoreId(4), &old_batch, false).await;
+            assert_eq!(
+                e.alloc.free_frames(),
+                free_before,
+                "stale batch must not free the frame"
+            );
+            assert_eq!(e.stats.evict_cancelled_pages.get(), 1);
+            assert!(e.pt.get(vpn).locked(), "newer owner's lock intact");
+        });
+    }
+
+    #[test]
+    fn hermit_scaling_controller_reacts_to_pressure() {
+        let (sim, engine, vma) = rig(SystemConfig::hermit(), 512);
+        assert_eq!(engine.active_evictors.get(), 4);
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            // Hammer faults so free pages stay scarce for a while.
+            for round in 0..3 {
+                for i in 0..vma.pages {
+                    e.access(CoreId((i % 4) as u32), vma.start_vpn + i, round == 0)
+                        .await;
+                }
+            }
+        });
+        assert!(
+            engine.active_evictors.get() > 4 || engine.stats.sync_evictions.get() > 0,
+            "pressure must either scale evictors or trigger sync eviction"
+        );
+    }
+
+    #[test]
+    fn sequential_and_pipelined_agree_on_conservation() {
+        for pipelined in [false, true] {
+            let mut cfg = SystemConfig::mage_lib();
+            cfg.pipelined_eviction = pipelined;
+            let (sim, engine, vma) = rig(cfg, 512);
+            let e = Rc::clone(&engine);
+            sim.block_on(async move {
+                for i in 0..vma.pages {
+                    e.access(CoreId((i % 4) as u32), vma.start_vpn + i, i % 3 == 0)
+                        .await;
+                }
+            });
+            engine.shutdown();
+            let resident = engine.acct.resident_pages();
+            let free = engine.alloc.free_frames();
+            assert!(resident + free <= 512, "pipelined={pipelined}: over-commit");
+            assert!(engine.stats.evicted_pages.get() > 0);
+        }
+    }
+}

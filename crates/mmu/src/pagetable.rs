@@ -1,0 +1,312 @@
+//! A 4-level radix page table with x86-style PTE bits.
+//!
+//! The table covers a 48-bit virtual address space (36-bit virtual page
+//! numbers) with 9 bits per level, like x86-64. PTEs are 64-bit words:
+//!
+//! ```text
+//!  63           12 11        5  4      3      2     1        0
+//! +---------------+-----------+------+------+-----+--------+---------+
+//! |   payload     | (unused)  |REMOTE|LOCKED|DIRTY|ACCESSED| PRESENT |
+//! +---------------+-----------+------+------+-----+--------+---------+
+//! ```
+//!
+//! `payload` holds the physical frame number while PRESENT, or the remote
+//! page offset while REMOTE (DiLOS/MAGE-style VMA-direct mapping stores
+//! the far-memory location directly in the PTE instead of a swap entry,
+//! paper §4.2.3). LOCKED is the per-PTE fault-dedup lock that DiLOS embeds
+//! in the page table and that the unified page table of MAGE-Lib reuses
+//! (§5.2).
+//!
+//! The API is copy-in/copy-out (`get`/`set`/`update`) so no references
+//! escape the internal arena; all methods are `&self`.
+
+use std::cell::RefCell;
+
+/// log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+/// Page size in bytes (4 KiB).
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+const LEVEL_BITS: u32 = 9;
+const FANOUT: usize = 1 << LEVEL_BITS;
+const MAX_VPN: u64 = 1 << (4 * LEVEL_BITS);
+
+/// A page-table entry.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    const PRESENT: u64 = 1 << 0;
+    const ACCESSED: u64 = 1 << 1;
+    const DIRTY: u64 = 1 << 2;
+    const LOCKED: u64 = 1 << 3;
+    const REMOTE: u64 = 1 << 4;
+    const PAYLOAD_SHIFT: u32 = 12;
+
+    /// An empty (never-populated) entry.
+    pub const NONE: Pte = Pte(0);
+
+    /// Builds a present entry mapping physical frame `pfn`.
+    pub fn present(pfn: u64) -> Pte {
+        Pte((pfn << Self::PAYLOAD_SHIFT) | Self::PRESENT)
+    }
+
+    /// Builds a remote (non-present) entry pointing at remote page `rpn`.
+    pub fn remote(rpn: u64) -> Pte {
+        Pte((rpn << Self::PAYLOAD_SHIFT) | Self::REMOTE)
+    }
+
+    /// Whether the entry maps a local frame.
+    pub fn is_present(self) -> bool {
+        self.0 & Self::PRESENT != 0
+    }
+
+    /// Whether the entry points to far memory.
+    pub fn is_remote(self) -> bool {
+        self.0 & Self::REMOTE != 0
+    }
+
+    /// Whether the accessed bit is set.
+    pub fn accessed(self) -> bool {
+        self.0 & Self::ACCESSED != 0
+    }
+
+    /// Whether the dirty bit is set.
+    pub fn dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    /// Whether the fault-dedup lock bit is held.
+    pub fn locked(self) -> bool {
+        self.0 & Self::LOCKED != 0
+    }
+
+    /// The payload field (PFN while present, remote page while remote).
+    pub fn payload(self) -> u64 {
+        self.0 >> Self::PAYLOAD_SHIFT
+    }
+
+    /// Returns the entry with the accessed bit set/cleared.
+    pub fn with_accessed(self, on: bool) -> Pte {
+        self.with_bit(Self::ACCESSED, on)
+    }
+
+    /// Returns the entry with the dirty bit set/cleared.
+    pub fn with_dirty(self, on: bool) -> Pte {
+        self.with_bit(Self::DIRTY, on)
+    }
+
+    /// Returns the entry with the lock bit set/cleared.
+    pub fn with_locked(self, on: bool) -> Pte {
+        self.with_bit(Self::LOCKED, on)
+    }
+
+    fn with_bit(self, bit: u64, on: bool) -> Pte {
+        if on {
+            Pte(self.0 | bit)
+        } else {
+            Pte(self.0 & !bit)
+        }
+    }
+}
+
+/// A 4-level radix page table (arena-backed).
+///
+/// # Examples
+///
+/// ```
+/// use mage_mmu::{PageTable, Pte};
+///
+/// let pt = PageTable::new();
+/// pt.set(0x1234, Pte::present(77).with_accessed(true));
+/// let e = pt.get(0x1234);
+/// assert!(e.is_present() && e.accessed());
+/// assert_eq!(e.payload(), 77);
+/// assert_eq!(pt.get(0x9999), Pte::NONE);
+/// ```
+pub struct PageTable {
+    /// Interior nodes; entry 0 is the root. Slots hold `child_index + 1`
+    /// (0 = empty). The last interior level's slots index into `leaves`.
+    interior: RefCell<Vec<Box<[u32; FANOUT]>>>,
+    /// Leaf nodes of raw PTE words.
+    leaves: RefCell<Vec<Box<[u64; FANOUT]>>>,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    /// Creates an empty page table.
+    pub fn new() -> Self {
+        PageTable {
+            interior: RefCell::new(vec![Box::new([0; FANOUT])]),
+            leaves: RefCell::new(Vec::new()),
+        }
+    }
+
+    fn slot(vpn: u64, level: u32) -> usize {
+        ((vpn >> (LEVEL_BITS * (3 - level))) & (FANOUT as u64 - 1)) as usize
+    }
+
+    /// Finds the leaf holding `vpn`, optionally creating the path.
+    fn leaf_of(&self, vpn: u64, create: bool) -> Option<(usize, usize)> {
+        assert!(vpn < MAX_VPN, "vpn {vpn:#x} exceeds 48-bit address space");
+        let mut interior = self.interior.borrow_mut();
+        let mut node = 0usize;
+        for level in 0..3u32 {
+            let slot = Self::slot(vpn, level);
+            let child = interior[node][slot];
+            let next = if child != 0 {
+                (child - 1) as usize
+            } else if !create {
+                return None;
+            } else if level < 2 {
+                interior.push(Box::new([0; FANOUT]));
+                let idx = interior.len() - 1;
+                interior[node][slot] = idx as u32 + 1;
+                idx
+            } else {
+                let mut leaves = self.leaves.borrow_mut();
+                leaves.push(Box::new([0; FANOUT]));
+                let idx = leaves.len() - 1;
+                interior[node][slot] = idx as u32 + 1;
+                idx
+            };
+            node = next;
+        }
+        Some((node, Self::slot(vpn, 3)))
+    }
+
+    /// Reads the entry for `vpn` ([`Pte::NONE`] if the path is absent).
+    pub fn get(&self, vpn: u64) -> Pte {
+        match self.leaf_of(vpn, false) {
+            Some((leaf, slot)) => Pte(self.leaves.borrow()[leaf][slot]),
+            None => Pte::NONE,
+        }
+    }
+
+    /// Writes the entry for `vpn`, creating intermediate levels.
+    pub fn set(&self, vpn: u64, pte: Pte) {
+        let (leaf, slot) = self.leaf_of(vpn, true).expect("create never fails");
+        self.leaves.borrow_mut()[leaf][slot] = pte.0;
+    }
+
+    /// Atomically (w.r.t. the simulation) applies `f` to the entry for
+    /// `vpn` and returns the *previous* value.
+    pub fn update(&self, vpn: u64, f: impl FnOnce(Pte) -> Pte) -> Pte {
+        let (leaf, slot) = self.leaf_of(vpn, true).expect("create never fails");
+        let mut leaves = self.leaves.borrow_mut();
+        let old = Pte(leaves[leaf][slot]);
+        leaves[leaf][slot] = f(old).0;
+        old
+    }
+
+    /// Tries to set the lock bit; returns true on success (bit was clear).
+    ///
+    /// This is the PTE-embedded fault-deduplication lock of DiLOS / the
+    /// MAGE-Lib unified page table (§5.2).
+    pub fn try_lock(&self, vpn: u64) -> bool {
+        let old = self.update(vpn, |p| p.with_locked(true));
+        !old.locked()
+    }
+
+    /// Clears the lock bit.
+    pub fn unlock(&self, vpn: u64) {
+        let old = self.update(vpn, |p| p.with_locked(false));
+        debug_assert!(old.locked(), "unlock of unlocked pte {vpn:#x}");
+    }
+
+    /// Number of allocated interior + leaf nodes (footprint estimate).
+    pub fn node_count(&self) -> usize {
+        self.interior.borrow().len() + self.leaves.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_returns_none() {
+        let pt = PageTable::new();
+        assert_eq!(pt.get(0), Pte::NONE);
+        assert_eq!(pt.get(MAX_VPN - 1), Pte::NONE);
+        assert_eq!(pt.node_count(), 1);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_levels() {
+        let pt = PageTable::new();
+        // VPNs chosen to differ in every level slot.
+        let vpns = [0u64, 1, 511, 512, 1 << 18, (1 << 27) + 5, MAX_VPN - 1];
+        for (i, &vpn) in vpns.iter().enumerate() {
+            pt.set(vpn, Pte::present(i as u64 + 100));
+        }
+        for (i, &vpn) in vpns.iter().enumerate() {
+            let e = pt.get(vpn);
+            assert!(e.is_present());
+            assert_eq!(e.payload(), i as u64 + 100, "vpn {vpn:#x}");
+        }
+    }
+
+    #[test]
+    fn update_returns_previous() {
+        let pt = PageTable::new();
+        pt.set(42, Pte::remote(7));
+        let old = pt.update(42, |p| p.with_accessed(true));
+        assert_eq!(old, Pte::remote(7));
+        assert!(pt.get(42).accessed());
+        assert!(pt.get(42).is_remote());
+    }
+
+    #[test]
+    fn pte_bit_operations() {
+        let p = Pte::present(3).with_accessed(true).with_dirty(true);
+        assert!(p.is_present() && p.accessed() && p.dirty());
+        assert!(!p.is_remote() && !p.locked());
+        let p = p.with_accessed(false);
+        assert!(!p.accessed() && p.dirty());
+        assert_eq!(p.payload(), 3);
+    }
+
+    #[test]
+    fn remote_and_present_are_distinct() {
+        let r = Pte::remote(9);
+        assert!(r.is_remote() && !r.is_present());
+        let p = Pte::present(9);
+        assert!(p.is_present() && !p.is_remote());
+        assert_eq!(r.payload(), p.payload());
+    }
+
+    #[test]
+    fn pte_lock_protocol() {
+        let pt = PageTable::new();
+        pt.set(5, Pte::remote(1));
+        assert!(pt.try_lock(5));
+        assert!(!pt.try_lock(5), "second lock attempt must fail");
+        pt.unlock(5);
+        assert!(pt.try_lock(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48-bit address space")]
+    fn oversized_vpn_panics() {
+        PageTable::new().get(MAX_VPN);
+    }
+
+    #[test]
+    fn dense_range_is_compact() {
+        let pt = PageTable::new();
+        for vpn in 0..10_000u64 {
+            pt.set(vpn, Pte::present(vpn));
+        }
+        // 10k consecutive pages need ~20 leaves + 3 interior nodes.
+        assert!(pt.node_count() < 30, "nodes: {}", pt.node_count());
+        for vpn in (0..10_000u64).step_by(997) {
+            assert_eq!(pt.get(vpn).payload(), vpn);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-core TLB model.
+//!
+//! The TLB tracks which virtual page numbers a core can currently
+//! translate without touching the page table. It serves two purposes in
+//! the reproduction:
+//!
+//! 1. **Hit accounting** — minor-access fast paths (TLB hit) versus
+//!    page-table walks.
+//! 2. **Safety checking** — the eviction pipeline must never reclaim a
+//!    frame while any core still caches a translation to it. The engine's
+//!    debug assertions consult [`Tlb::translates`] to enforce this.
+//!
+//! Invalidations performed by the shootdown protocol clear entries at
+//! *request* time even though the simulated flush completes later; this is
+//! conservative for hit accounting and exact for the safety check, because
+//! the initiating evictor does not reclaim the frame until the flush ACK
+//! (see `mage_mmu::ipi`).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use mage_sim::rng::SplitMix64;
+use mage_sim::stats::Counter;
+
+/// A fixed-capacity, randomly-replaced translation cache for one core.
+pub struct Tlb {
+    capacity: usize,
+    /// vpn → slot in `order` (for O(1) invalidation).
+    map: RefCell<HashMap<u64, usize>>,
+    /// Insertion vector for random replacement.
+    order: RefCell<Vec<u64>>,
+    rng: SplitMix64,
+    /// Translation hits.
+    pub hits: Counter,
+    /// Translation misses.
+    pub misses: Counter,
+    /// Entries evicted by capacity replacement.
+    pub capacity_evictions: Counter,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries (e.g. 1,536 for Ice Lake's
+    /// combined DTLB+STLB reach at 4 KiB pages).
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        Tlb {
+            capacity,
+            map: RefCell::new(HashMap::new()),
+            order: RefCell::new(Vec::new()),
+            rng: SplitMix64::new(seed),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            capacity_evictions: Counter::new(),
+        }
+    }
+
+    /// Looks up `vpn`, recording a hit or miss.
+    pub fn lookup(&self, vpn: u64) -> bool {
+        if self.map.borrow().contains_key(&vpn) {
+            self.hits.inc();
+            true
+        } else {
+            self.misses.inc();
+            false
+        }
+    }
+
+    /// Whether the core can currently translate `vpn` (no stats recorded).
+    pub fn translates(&self, vpn: u64) -> bool {
+        self.map.borrow().contains_key(&vpn)
+    }
+
+    /// Inserts a translation after a page-table walk, evicting a random
+    /// victim if the TLB is full.
+    pub fn fill(&self, vpn: u64) {
+        let mut map = self.map.borrow_mut();
+        if map.contains_key(&vpn) {
+            return;
+        }
+        let mut order = self.order.borrow_mut();
+        if order.len() >= self.capacity {
+            let victim_slot = self.rng.next_below(order.len() as u64) as usize;
+            let victim = order[victim_slot];
+            map.remove(&victim);
+            self.capacity_evictions.inc();
+            order[victim_slot] = vpn;
+            map.insert(vpn, victim_slot);
+        } else {
+            order.push(vpn);
+            map.insert(vpn, order.len() - 1);
+        }
+    }
+
+    /// Invalidates one translation (INVLPG).
+    pub fn invalidate(&self, vpn: u64) {
+        let mut map = self.map.borrow_mut();
+        if let Some(slot) = map.remove(&vpn) {
+            let mut order = self.order.borrow_mut();
+            let last = order.len() - 1;
+            order.swap(slot, last);
+            order.pop();
+            if slot < order.len() {
+                map.insert(order[slot], slot);
+            }
+        }
+    }
+
+    /// Flushes every translation (CR3 write).
+    pub fn flush_all(&self) {
+        self.map.borrow_mut().clear();
+        self.order.borrow_mut().clear();
+    }
+
+    /// Number of cached translations.
+    pub fn len(&self) -> usize {
+        self.order.borrow().len()
+    }
+
+    /// Whether the TLB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_then_hit() {
+        let tlb = Tlb::new(4, 1);
+        assert!(!tlb.lookup(10));
+        tlb.fill(10);
+        assert!(tlb.lookup(10));
+        assert_eq!(tlb.hits.get(), 1);
+        assert_eq!(tlb.misses.get(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let tlb = Tlb::new(4, 1);
+        tlb.fill(1);
+        tlb.fill(2);
+        tlb.invalidate(1);
+        assert!(!tlb.translates(1));
+        assert!(tlb.translates(2));
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_absent_is_noop() {
+        let tlb = Tlb::new(4, 1);
+        tlb.fill(1);
+        tlb.invalidate(99);
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn capacity_replacement_bounds_size() {
+        let tlb = Tlb::new(8, 42);
+        for vpn in 0..100 {
+            tlb.fill(vpn);
+        }
+        assert_eq!(tlb.len(), 8);
+        assert_eq!(tlb.capacity_evictions.get(), 92);
+        // Every resident entry must still be translatable.
+        let resident: Vec<u64> = (0..100).filter(|&v| tlb.translates(v)).collect();
+        assert_eq!(resident.len(), 8);
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let tlb = Tlb::new(16, 3);
+        for vpn in 0..10 {
+            tlb.fill(vpn);
+        }
+        tlb.flush_all();
+        assert!(tlb.is_empty());
+        assert!(!tlb.translates(5));
+    }
+
+    #[test]
+    fn duplicate_fill_is_idempotent() {
+        let tlb = Tlb::new(4, 1);
+        tlb.fill(7);
+        tlb.fill(7);
+        assert_eq!(tlb.len(), 1);
+    }
+
+    #[test]
+    fn swap_remove_bookkeeping_stays_consistent() {
+        let tlb = Tlb::new(16, 5);
+        for vpn in 0..10 {
+            tlb.fill(vpn);
+        }
+        // Remove from the middle repeatedly; the map/order cross-links
+        // must stay coherent.
+        for vpn in [3, 0, 9, 5] {
+            tlb.invalidate(vpn);
+            assert!(!tlb.translates(vpn));
+        }
+        let alive: Vec<u64> = (0..10).filter(|&v| tlb.translates(v)).collect();
+        assert_eq!(alive, vec![1, 2, 4, 6, 7, 8]);
+        for &v in &alive {
+            tlb.invalidate(v);
+        }
+        assert!(tlb.is_empty());
+    }
+}

@@ -1,0 +1,268 @@
+//! A binary buddy allocator over physical frame numbers.
+//!
+//! This is the classic power-of-two buddy system used by Linux and OSv
+//! (§3.3.3): memory is carved into blocks of `2^order` frames; freeing a
+//! block coalesces it with its buddy whenever the buddy is also free. The
+//! allocator itself is synchronous — concurrency policy (global lock,
+//! per-CPU caches, MAGE's multi-layer hierarchy) is layered on top in
+//! [`crate::local`].
+
+use std::collections::HashSet;
+
+/// Maximum block order (2^10 frames = 4 MiB blocks at 4 KiB pages).
+pub const MAX_ORDER: u32 = 10;
+
+/// A binary buddy allocator handing out frame numbers.
+///
+/// # Examples
+///
+/// ```
+/// use mage_palloc::BuddyAllocator;
+///
+/// let mut b = BuddyAllocator::new(1024);
+/// let f = b.alloc(0).expect("frame available");
+/// assert!(f < 1024);
+/// b.free(f, 0);
+/// assert_eq!(b.free_frames(), 1024);
+/// ```
+pub struct BuddyAllocator {
+    nframes: u64,
+    /// Free blocks per order.
+    free_lists: Vec<HashSet<u64>>,
+    /// Outstanding allocations, for exact double-free detection.
+    outstanding: HashSet<(u64, u32)>,
+    free_frames: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates an allocator managing frames `0..nframes`, all free.
+    pub fn new(nframes: u64) -> Self {
+        let mut b = BuddyAllocator {
+            nframes,
+            free_lists: (0..=MAX_ORDER).map(|_| HashSet::new()).collect(),
+            outstanding: HashSet::new(),
+            free_frames: 0,
+        };
+        // Seed with maximal aligned blocks covering [0, nframes).
+        let mut base = 0;
+        while base < nframes {
+            let mut order = MAX_ORDER;
+            loop {
+                let size = 1u64 << order;
+                if base % size == 0 && base + size <= nframes {
+                    break;
+                }
+                order -= 1;
+            }
+            b.free_lists[order as usize].insert(base);
+            b.free_frames += 1 << order;
+            base += 1 << order;
+        }
+        b
+    }
+
+    /// Number of currently free frames.
+    pub fn free_frames(&self) -> u64 {
+        self.free_frames
+    }
+
+    /// Total frames managed.
+    pub fn total_frames(&self) -> u64 {
+        self.nframes
+    }
+
+    /// Allocates a block of `2^order` frames, returning its base frame.
+    pub fn alloc(&mut self, order: u32) -> Option<u64> {
+        assert!(order <= MAX_ORDER, "order {order} too large");
+        // Find the smallest available order >= requested.
+        let found = (order..=MAX_ORDER).find(|&o| !self.free_lists[o as usize].is_empty())?;
+        // Deterministic choice: smallest base in that order.
+        let base = *self.free_lists[found as usize]
+            .iter()
+            .min()
+            .expect("non-empty list");
+        self.free_lists[found as usize].remove(&base);
+        // Split down to the requested order, returning upper halves.
+        let mut o = found;
+        while o > order {
+            o -= 1;
+            let buddy = base + (1u64 << o);
+            self.free_lists[o as usize].insert(buddy);
+        }
+        self.free_frames -= 1 << order;
+        self.outstanding.insert((base, order));
+        Some(base)
+    }
+
+    /// Allocates `n` single frames (order 0), stopping early if exhausted.
+    pub fn alloc_batch(&mut self, n: usize, out: &mut Vec<u64>) {
+        for _ in 0..n {
+            match self.alloc(0) {
+                Some(f) => out.push(f),
+                None => break,
+            }
+        }
+    }
+
+    /// Frees a block of `2^order` frames at `base`, coalescing buddies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is misaligned, out of range, or (detectably)
+    /// already free — a double free.
+    pub fn free(&mut self, base: u64, order: u32) {
+        assert!(order <= MAX_ORDER, "order {order} too large");
+        assert_eq!(base % (1 << order), 0, "misaligned free of {base:#x}");
+        assert!(base + (1 << order) <= self.nframes, "free out of range");
+        assert!(
+            self.outstanding.remove(&(base, order)),
+            "double or invalid free of block {base:#x} order {order}"
+        );
+        let freed_frames = 1u64 << order;
+        let mut base = base;
+        let mut order = order;
+        while order < MAX_ORDER {
+            let buddy = base ^ (1u64 << order);
+            if buddy + (1 << order) > self.nframes
+                || !self.free_lists[order as usize].remove(&buddy)
+            {
+                break;
+            }
+            base = base.min(buddy);
+            order += 1;
+        }
+        let inserted = self.free_lists[order as usize].insert(base);
+        debug_assert!(inserted, "free-list corruption at {base:#x} order {order}");
+        self.free_frames += freed_frames;
+    }
+
+    /// Frees a batch of single frames.
+    pub fn free_batch(&mut self, frames: &[u64]) {
+        for &f in frames {
+            self.free(f, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_pool_after_construction() {
+        for n in [1u64, 7, 64, 1000, 4096] {
+            let b = BuddyAllocator::new(n);
+            assert_eq!(b.free_frames(), n, "nframes {n}");
+        }
+    }
+
+    #[test]
+    fn alloc_free_roundtrip_restores_pool() {
+        let mut b = BuddyAllocator::new(256);
+        let mut got = Vec::new();
+        while let Some(f) = b.alloc(0) {
+            got.push(f);
+        }
+        assert_eq!(got.len(), 256);
+        // All frames distinct and in range.
+        let set: HashSet<u64> = got.iter().copied().collect();
+        assert_eq!(set.len(), 256);
+        assert!(got.iter().all(|&f| f < 256));
+        b.free_batch(&got);
+        assert_eq!(b.free_frames(), 256);
+        // After coalescing, a max-order block must be allocatable again.
+        assert!(b.alloc(8).is_some());
+    }
+
+    #[test]
+    fn split_and_coalesce() {
+        let mut b = BuddyAllocator::new(16);
+        let x = b.alloc(2).expect("4 frames"); // [0,4)
+        assert_eq!(b.free_frames(), 12);
+        let y = b.alloc(2).expect("4 frames"); // [4,8)
+        assert_eq!(x ^ 4, y, "buddies allocated adjacently");
+        b.free(x, 2);
+        b.free(y, 2);
+        assert_eq!(b.free_frames(), 16);
+        // Coalesced back: an order-4 block exists.
+        assert_eq!(b.alloc(4), Some(0));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut b = BuddyAllocator::new(4);
+        assert!(b.alloc(2).is_some());
+        assert!(b.alloc(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double or invalid free")]
+    fn double_free_panics() {
+        let mut b = BuddyAllocator::new(16);
+        let f = b.alloc(0).unwrap();
+        b.free(f, 0);
+        b.free(f, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_free_panics() {
+        let mut b = BuddyAllocator::new(16);
+        b.free(1, 1);
+    }
+
+    #[test]
+    fn alloc_batch_partial_on_exhaustion() {
+        let mut b = BuddyAllocator::new(10);
+        let mut out = Vec::new();
+        b.alloc_batch(20, &mut out);
+        assert_eq!(out.len(), 10);
+    }
+
+    proptest! {
+        /// Any interleaving of allocs and frees preserves the invariants:
+        /// no frame handed out twice, free count consistent, and freeing
+        /// everything restores the full pool.
+        #[test]
+        fn prop_alloc_free_invariants(ops in proptest::collection::vec(0u8..4, 1..200)) {
+            let n = 128u64;
+            let mut b = BuddyAllocator::new(n);
+            let mut held: Vec<(u64, u32)> = Vec::new();
+            let mut held_frames: HashSet<u64> = HashSet::new();
+            for op in ops {
+                match op {
+                    0 | 1 => {
+                        // Alloc order 0 or 1.
+                        let order = op as u32;
+                        if let Some(base) = b.alloc(order) {
+                            for i in 0..(1u64 << order) {
+                                prop_assert!(
+                                    held_frames.insert(base + i),
+                                    "frame {} double-allocated", base + i
+                                );
+                            }
+                            held.push((base, order));
+                        }
+                    }
+                    _ => {
+                        if let Some((base, order)) = held.pop() {
+                            for i in 0..(1u64 << order) {
+                                held_frames.remove(&(base + i));
+                            }
+                            b.free(base, order);
+                        }
+                    }
+                }
+                prop_assert_eq!(
+                    b.free_frames() + held_frames.len() as u64, n,
+                    "conservation violated"
+                );
+            }
+            for (base, order) in held.drain(..) {
+                b.free(base, order);
+            }
+            prop_assert_eq!(b.free_frames(), n);
+        }
+    }
+}

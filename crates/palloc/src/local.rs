@@ -1,0 +1,403 @@
+//! Local frame-allocator stacks: global buddy, per-CPU caches, and MAGE's
+//! three-level hierarchy.
+//!
+//! All three designs share the same underlying [`BuddyAllocator`]; they
+//! differ in the concurrency structure in front of it, which is exactly
+//! the paper's Challenge 3 (§3.3.3): the *placement of work under locks*
+//! determines how allocation latency scales with thread count.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+
+use mage_sim::stats::{Counter, Histogram};
+use mage_sim::sync::{LockStats, SimMutex};
+use mage_sim::time::Nanos;
+use mage_sim::SimHandle;
+
+use crate::buddy::BuddyAllocator;
+
+/// Which allocator stack fronts the buddy allocator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalAllocatorKind {
+    /// Every operation goes through the global buddy lock (DiLOS §3.2).
+    GlobalBuddy,
+    /// Linux-style per-CPU page caches refilled in batches (Hermit).
+    PcpuCache,
+    /// MAGE's hierarchy: per-core cache → shared concurrent queue →
+    /// buddy fallback (§5.2). Evictors free into the shared queue.
+    MultiLayer,
+}
+
+/// Service-time constants for allocator operations (virtual ns).
+#[derive(Clone, Debug)]
+pub struct LocalAllocCosts {
+    /// Per-CPU cache pop/push.
+    pub cache_op_ns: Nanos,
+    /// Shared-queue batch operation (lock hold time).
+    pub queue_op_ns: Nanos,
+    /// Buddy alloc/free of one block (lock hold time).
+    pub buddy_op_ns: Nanos,
+    /// Per-frame cost of a bulk buddy operation (amortized split/merge).
+    pub buddy_bulk_per_frame_ns: Nanos,
+    /// Frames moved per refill/drain batch.
+    pub batch: usize,
+}
+
+impl Default for LocalAllocCosts {
+    fn default() -> Self {
+        LocalAllocCosts {
+            cache_op_ns: 40,
+            queue_op_ns: 200,
+            buddy_op_ns: 300,
+            buddy_bulk_per_frame_ns: 120,
+            batch: 32,
+        }
+    }
+}
+
+/// Counters exposed by a [`LocalAllocator`].
+#[derive(Default)]
+pub struct LocalAllocStats {
+    /// Allocations served from a per-core cache.
+    pub cache_hits: Counter,
+    /// Refills served from the shared queue (MultiLayer only).
+    pub queue_refills: Counter,
+    /// Refills / operations that reached the buddy allocator.
+    pub buddy_ops: Counter,
+    /// Allocations that found the pool globally empty.
+    pub failures: Counter,
+    /// Wall-clock (virtual) duration of each successful alloc, ns.
+    pub alloc_latency: Histogram,
+}
+
+/// An asynchronous frame allocator with a configurable concurrency stack.
+///
+/// `alloc` returns `None` only when the pool is *globally* exhausted; the
+/// caller (fault path or evictor) decides whether to wait or reclaim.
+pub struct LocalAllocator {
+    sim: SimHandle,
+    kind: LocalAllocatorKind,
+    costs: LocalAllocCosts,
+    buddy: SimMutex<BuddyAllocator>,
+    per_core: Vec<RefCell<Vec<u64>>>,
+    shared_queue: SimMutex<VecDeque<u64>>,
+    free_count: Cell<u64>,
+    stats: LocalAllocStats,
+}
+
+impl LocalAllocator {
+    /// Creates an allocator over `nframes` frames for `cores` cores.
+    pub fn new(
+        sim: SimHandle,
+        kind: LocalAllocatorKind,
+        costs: LocalAllocCosts,
+        nframes: u64,
+        cores: usize,
+    ) -> Self {
+        let buddy = BuddyAllocator::new(nframes);
+        LocalAllocator {
+            kind,
+            buddy: SimMutex::new(sim.clone(), buddy),
+            per_core: (0..cores).map(|_| RefCell::new(Vec::new())).collect(),
+            shared_queue: SimMutex::new(sim.clone(), VecDeque::new()),
+            free_count: Cell::new(nframes),
+            stats: LocalAllocStats::default(),
+            costs,
+            sim,
+        }
+    }
+
+    /// The stack in use.
+    pub fn kind(&self) -> LocalAllocatorKind {
+        self.kind
+    }
+
+    /// Frames currently free anywhere in the hierarchy.
+    pub fn free_frames(&self) -> u64 {
+        self.free_count.get()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &LocalAllocStats {
+        &self.stats
+    }
+
+    /// Contention statistics of the buddy lock.
+    pub fn buddy_lock_stats(&self) -> &LockStats {
+        self.buddy.stats()
+    }
+
+    /// Contention statistics of the shared queue lock.
+    pub fn queue_lock_stats(&self) -> &LockStats {
+        self.shared_queue.stats()
+    }
+
+    /// Synchronously takes up to `n` frames for initial page placement
+    /// (setup only; no virtual time passes, no statistics recorded).
+    pub fn seed_take(&self, n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        self.buddy.with_sync(|b| b.alloc_batch(n, &mut out));
+        self.free_count
+            .set(self.free_count.get() - out.len() as u64);
+        out
+    }
+
+    /// Allocates one frame on behalf of `core`.
+    pub async fn alloc(&self, core: usize) -> Option<u64> {
+        let t0 = self.sim.now();
+        let frame = match self.kind {
+            LocalAllocatorKind::GlobalBuddy => self.alloc_global().await,
+            LocalAllocatorKind::PcpuCache => self.alloc_cached(core, false).await,
+            LocalAllocatorKind::MultiLayer => self.alloc_cached(core, true).await,
+        };
+        match frame {
+            Some(_) => {
+                self.free_count.set(self.free_count.get() - 1);
+                self.stats
+                    .alloc_latency
+                    .record(self.sim.now().saturating_since(t0));
+            }
+            None => self.stats.failures.inc(),
+        }
+        frame
+    }
+
+    async fn alloc_global(&self) -> Option<u64> {
+        let mut buddy = self.buddy.lock().await;
+        self.sim.sleep(self.costs.buddy_op_ns).await;
+        self.stats.buddy_ops.inc();
+        buddy.alloc(0)
+    }
+
+    async fn alloc_cached(&self, core: usize, use_shared_queue: bool) -> Option<u64> {
+        // Fast path: the core-local cache.
+        self.sim.sleep(self.costs.cache_op_ns).await;
+        if let Some(f) = self.per_core[core].borrow_mut().pop() {
+            self.stats.cache_hits.inc();
+            return Some(f);
+        }
+        // Middle layer: batch-pop from the shared concurrent queue.
+        if use_shared_queue {
+            let mut grabbed: Vec<u64> = Vec::new();
+            {
+                let mut q = self.shared_queue.lock().await;
+                self.sim.sleep(self.costs.queue_op_ns).await;
+                for _ in 0..self.costs.batch {
+                    match q.pop_front() {
+                        Some(f) => grabbed.push(f),
+                        None => break,
+                    }
+                }
+            }
+            if !grabbed.is_empty() {
+                self.stats.queue_refills.inc();
+                let first = grabbed.pop().expect("non-empty");
+                self.per_core[core].borrow_mut().extend(grabbed);
+                return Some(first);
+            }
+        }
+        // Slow path: bulk refill from the buddy allocator.
+        let mut refill = Vec::new();
+        {
+            let mut buddy = self.buddy.lock().await;
+            let bulk = self.costs.buddy_op_ns
+                + self.costs.buddy_bulk_per_frame_ns * self.costs.batch as u64;
+            self.sim.sleep(bulk).await;
+            self.stats.buddy_ops.inc();
+            buddy.alloc_batch(self.costs.batch, &mut refill);
+        }
+        let first = refill.pop()?;
+        self.per_core[core].borrow_mut().extend(refill);
+        Some(first)
+    }
+
+    /// Returns a batch of frames to the pool on behalf of `core`.
+    ///
+    /// Eviction threads call this with whole reclaimed batches; the path
+    /// taken depends on the stack (buddy lock, per-CPU cache with drain,
+    /// or MAGE's shared queue).
+    pub async fn free_batch(&self, core: usize, frames: &[u64]) {
+        if frames.is_empty() {
+            return;
+        }
+        match self.kind {
+            LocalAllocatorKind::GlobalBuddy => {
+                let mut buddy = self.buddy.lock().await;
+                let cost = self.costs.buddy_op_ns
+                    + self.costs.buddy_bulk_per_frame_ns * frames.len() as u64;
+                self.sim.sleep(cost).await;
+                self.stats.buddy_ops.inc();
+                buddy.free_batch(frames);
+            }
+            LocalAllocatorKind::PcpuCache => {
+                // Free into the local cache, then drain the excess to the
+                // buddy (Linux pcp high-watermark behaviour).
+                self.sim.sleep(self.costs.cache_op_ns).await;
+                let drain: Vec<u64> = {
+                    let mut cache = self.per_core[core].borrow_mut();
+                    cache.extend_from_slice(frames);
+                    let high = self.costs.batch * 2;
+                    if cache.len() > high {
+                        let keep = self.costs.batch;
+                        cache.split_off(keep)
+                    } else {
+                        Vec::new()
+                    }
+                };
+                if !drain.is_empty() {
+                    let mut buddy = self.buddy.lock().await;
+                    let cost = self.costs.buddy_op_ns
+                        + self.costs.buddy_bulk_per_frame_ns * drain.len() as u64;
+                    self.sim.sleep(cost).await;
+                    self.stats.buddy_ops.inc();
+                    buddy.free_batch(&drain);
+                }
+            }
+            LocalAllocatorKind::MultiLayer => {
+                // One short lock hold pushes the whole batch.
+                let mut q = self.shared_queue.lock().await;
+                self.sim.sleep(self.costs.queue_op_ns).await;
+                q.extend(frames.iter().copied());
+            }
+        }
+        self.free_count
+            .set(self.free_count.get() + frames.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mage_sim::Simulation;
+    use std::rc::Rc;
+
+    fn alloc_rig(
+        kind: LocalAllocatorKind,
+        nframes: u64,
+        cores: usize,
+    ) -> (Simulation, Rc<LocalAllocator>) {
+        let sim = Simulation::new();
+        let a = Rc::new(LocalAllocator::new(
+            sim.handle(),
+            kind,
+            LocalAllocCosts::default(),
+            nframes,
+            cores,
+        ));
+        (sim, a)
+    }
+
+    #[test]
+    fn global_buddy_allocates_distinct_frames() {
+        let (sim, a) = alloc_rig(LocalAllocatorKind::GlobalBuddy, 64, 2);
+        let a2 = Rc::clone(&a);
+        let frames = sim.block_on(async move {
+            let mut v = Vec::new();
+            for _ in 0..64 {
+                v.push(a2.alloc(0).await.expect("available"));
+            }
+            assert!(a2.alloc(0).await.is_none(), "pool exhausted");
+            v
+        });
+        let set: std::collections::HashSet<_> = frames.iter().collect();
+        assert_eq!(set.len(), 64);
+        assert_eq!(a.free_frames(), 0);
+        assert_eq!(a.stats().failures.get(), 1);
+    }
+
+    #[test]
+    fn pcpu_cache_hits_after_refill() {
+        let (sim, a) = alloc_rig(LocalAllocatorKind::PcpuCache, 256, 2);
+        let a2 = Rc::clone(&a);
+        sim.block_on(async move {
+            // First alloc refills the cache from the buddy.
+            a2.alloc(0).await.unwrap();
+            assert_eq!(a2.stats().buddy_ops.get(), 1);
+            // The next (batch-1) allocs hit the cache.
+            for _ in 0..31 {
+                a2.alloc(0).await.unwrap();
+            }
+            assert_eq!(a2.stats().buddy_ops.get(), 1);
+            assert_eq!(a2.stats().cache_hits.get(), 31);
+            a2.alloc(0).await.unwrap();
+            assert_eq!(a2.stats().buddy_ops.get(), 2, "second refill");
+        });
+    }
+
+    #[test]
+    fn multilayer_evictor_free_feeds_app_alloc() {
+        let (sim, a) = alloc_rig(LocalAllocatorKind::MultiLayer, 64, 4);
+        let a2 = Rc::clone(&a);
+        sim.block_on(async move {
+            // Drain the pool completely.
+            let mut held = Vec::new();
+            while let Some(f) = a2.alloc(1).await {
+                held.push(f);
+            }
+            assert_eq!(held.len(), 64);
+            // Evictor on core 3 returns a batch through the shared queue.
+            let batch: Vec<u64> = held.drain(..16).collect();
+            a2.free_batch(3, &batch).await;
+            assert_eq!(a2.free_frames(), 16);
+            // App thread on core 0 can allocate again via the queue.
+            assert!(a2.alloc(0).await.is_some());
+            assert!(a2.stats().queue_refills.get() >= 1);
+        });
+    }
+
+    #[test]
+    fn conservation_across_stacks() {
+        for kind in [
+            LocalAllocatorKind::GlobalBuddy,
+            LocalAllocatorKind::PcpuCache,
+            LocalAllocatorKind::MultiLayer,
+        ] {
+            let (sim, a) = alloc_rig(kind, 128, 2);
+            let a2 = Rc::clone(&a);
+            sim.block_on(async move {
+                let mut held = Vec::new();
+                for i in 0..100 {
+                    if let Some(f) = a2.alloc(i % 2).await {
+                        held.push(f);
+                    }
+                }
+                assert_eq!(a2.free_frames(), 128 - held.len() as u64);
+                a2.free_batch(0, &held).await;
+                assert_eq!(a2.free_frames(), 128, "kind {kind:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn multilayer_is_cheaper_than_global_under_contention() {
+        // 16 faulting threads + 1 evictor recycling frames: the
+        // multi-layer stack must finish sooner than the global-lock buddy.
+        fn run(kind: LocalAllocatorKind) -> u64 {
+            let (sim, a) = alloc_rig(kind, 512, 17);
+            let h = sim.handle();
+            for core in 0..16usize {
+                let (a, h) = (Rc::clone(&a), h.clone());
+                sim.spawn(async move {
+                    let mut held = Vec::new();
+                    for _ in 0..100 {
+                        if let Some(f) = a.alloc(core).await {
+                            held.push(f);
+                        }
+                        h.sleep(50).await;
+                        if held.len() >= 20 {
+                            a.free_batch(core, &held).await;
+                            held.clear();
+                        }
+                    }
+                });
+            }
+            sim.run().as_nanos()
+        }
+        let global = run(LocalAllocatorKind::GlobalBuddy);
+        let multi = run(LocalAllocatorKind::MultiLayer);
+        assert!(
+            multi < global,
+            "multi-layer {multi} not faster than global {global}"
+        );
+    }
+}

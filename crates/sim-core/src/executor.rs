@@ -1,0 +1,611 @@
+//! Deterministic single-threaded async executor over virtual time.
+//!
+//! Tasks are `!Send` futures polled on the caller's thread. Time advances
+//! only when no task is runnable: the executor then jumps the virtual clock
+//! to the earliest pending timer. Wakers are `Arc`-based and thread-safe
+//! (so the `Waker` contract is honoured even if one escapes), but in
+//! practice everything stays on one thread and execution is deterministic:
+//! the ready queue is FIFO and timers break ties by registration sequence.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{Nanos, SimTime};
+
+type TaskId = usize;
+type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Thread-safe queue that wakers push task ids into.
+///
+/// Kept behind a real `Mutex` so that `Waker::wake` is sound even if a
+/// waker is (incorrectly but safely) moved to another thread.
+#[derive(Default)]
+struct WakeQueue {
+    ids: Mutex<Vec<TaskId>>,
+}
+
+impl WakeQueue {
+    fn push(&self, id: TaskId) {
+        self.ids.lock().expect("wake queue poisoned").push(id);
+    }
+
+    fn drain_into(&self, out: &mut Vec<TaskId>) {
+        let mut q = self.ids.lock().expect("wake queue poisoned");
+        out.append(&mut q);
+    }
+}
+
+struct TaskWaker {
+    queue: Arc<WakeQueue>,
+    id: TaskId,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.push(self.id);
+    }
+}
+
+struct Task {
+    future: Option<LocalFuture>,
+    /// True while the task id sits in the executor's ready queue, to
+    /// de-duplicate redundant wakes.
+    enqueued: bool,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+}
+
+struct ExecCore {
+    now: Cell<SimTime>,
+    tasks: RefCell<Vec<Option<Task>>>,
+    free_ids: RefCell<Vec<TaskId>>,
+    ready: RefCell<VecDeque<TaskId>>,
+    wake_queue: Arc<WakeQueue>,
+    /// Min-heap of pending timers; the waker map is keyed by sequence.
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_wakers: RefCell<std::collections::HashMap<u64, Waker>>,
+    timer_seq: Cell<u64>,
+    live_tasks: Cell<usize>,
+    drain_buf: RefCell<Vec<TaskId>>,
+}
+
+impl ExecCore {
+    fn new() -> Rc<Self> {
+        Rc::new(ExecCore {
+            now: Cell::new(SimTime::ZERO),
+            tasks: RefCell::new(Vec::new()),
+            free_ids: RefCell::new(Vec::new()),
+            ready: RefCell::new(VecDeque::new()),
+            wake_queue: Arc::new(WakeQueue::default()),
+            timers: RefCell::new(BinaryHeap::new()),
+            timer_wakers: RefCell::new(std::collections::HashMap::new()),
+            timer_seq: Cell::new(0),
+            live_tasks: Cell::new(0),
+            drain_buf: RefCell::new(Vec::new()),
+        })
+    }
+
+    fn spawn(self: &Rc<Self>, future: LocalFuture) -> TaskId {
+        let id = match self.free_ids.borrow_mut().pop() {
+            Some(id) => id,
+            None => {
+                let mut tasks = self.tasks.borrow_mut();
+                tasks.push(None);
+                tasks.len() - 1
+            }
+        };
+        self.tasks.borrow_mut()[id] = Some(Task {
+            future: Some(future),
+            enqueued: true,
+        });
+        self.live_tasks.set(self.live_tasks.get() + 1);
+        self.ready.borrow_mut().push_back(id);
+        id
+    }
+
+    fn register_timer(&self, deadline: SimTime, waker: Waker) -> u64 {
+        let seq = self.timer_seq.get();
+        self.timer_seq.set(seq + 1);
+        self.timers
+            .borrow_mut()
+            .push(Reverse(TimerEntry { deadline, seq }));
+        self.timer_wakers.borrow_mut().insert(seq, waker);
+        seq
+    }
+
+    /// Moves externally-woken tasks into the FIFO ready queue.
+    fn absorb_wakes(&self) {
+        let mut buf = self.drain_buf.borrow_mut();
+        buf.clear();
+        self.wake_queue.drain_into(&mut buf);
+        if buf.is_empty() {
+            return;
+        }
+        let mut tasks = self.tasks.borrow_mut();
+        let mut ready = self.ready.borrow_mut();
+        for &id in buf.iter() {
+            if let Some(Some(task)) = tasks.get_mut(id) {
+                if !task.enqueued {
+                    task.enqueued = true;
+                    ready.push_back(id);
+                }
+            }
+        }
+    }
+
+    /// Advances the clock to the earliest pending timer and fires every
+    /// timer whose deadline has been reached. Returns false if no timer
+    /// was pending.
+    fn advance_to_next_timer(&self) -> bool {
+        let next = match self.timers.borrow_mut().peek() {
+            Some(Reverse(e)) => e.deadline,
+            None => return false,
+        };
+        debug_assert!(next >= self.now.get(), "timer in the past");
+        self.now.set(self.now.get().max(next));
+        loop {
+            let fire = {
+                let mut timers = self.timers.borrow_mut();
+                match timers.peek() {
+                    Some(Reverse(e)) if e.deadline <= self.now.get() => {
+                        let Reverse(e) = timers.pop().expect("peeked entry vanished");
+                        Some(e.seq)
+                    }
+                    _ => None,
+                }
+            };
+            match fire {
+                Some(seq) => {
+                    if let Some(waker) = self.timer_wakers.borrow_mut().remove(&seq) {
+                        waker.wake();
+                    }
+                }
+                None => break,
+            }
+        }
+        true
+    }
+
+    fn poll_one(self: &Rc<Self>, id: TaskId) {
+        let mut future = {
+            let mut tasks = self.tasks.borrow_mut();
+            let Some(Some(task)) = tasks.get_mut(id) else {
+                return;
+            };
+            task.enqueued = false;
+            match task.future.take() {
+                Some(f) => f,
+                None => return,
+            }
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            queue: Arc::clone(&self.wake_queue),
+            id,
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.tasks.borrow_mut()[id] = None;
+                self.free_ids.borrow_mut().push(id);
+                self.live_tasks.set(self.live_tasks.get() - 1);
+            }
+            Poll::Pending => {
+                // The task may have been re-woken while it was being
+                // polled; the id would already be in the wake queue, so we
+                // just return the future to its slot.
+                if let Some(Some(task)) = self.tasks.borrow_mut().get_mut(id) {
+                    task.future = Some(future);
+                }
+            }
+        }
+    }
+
+    /// Runs until no task is runnable and no timer is pending, or the
+    /// optional deadline is reached. Returns the final virtual time.
+    fn run(self: &Rc<Self>, deadline: Option<SimTime>, stop: &dyn Fn() -> bool) -> SimTime {
+        loop {
+            if stop() {
+                return self.now.get();
+            }
+            self.absorb_wakes();
+            let next = self.ready.borrow_mut().pop_front();
+            match next {
+                Some(id) => self.poll_one(id),
+                None => {
+                    if let Some(d) = deadline {
+                        let next_timer = self.timers.borrow().peek().map(|Reverse(e)| e.deadline);
+                        match next_timer {
+                            Some(t) if t <= d => {
+                                self.advance_to_next_timer();
+                            }
+                            _ => {
+                                self.now.set(self.now.get().max(d));
+                                return self.now.get();
+                            }
+                        }
+                    } else if !self.advance_to_next_timer() {
+                        return self.now.get();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A cloneable handle to the simulation, usable from inside tasks.
+///
+/// The handle provides the virtual clock, sleeping, and task spawning. It
+/// is the ambient "world" object passed to every simulated component.
+#[derive(Clone)]
+pub struct SimHandle {
+    core: Rc<ExecCore>,
+}
+
+impl SimHandle {
+    /// Returns the current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Returns a future that completes `duration` nanoseconds of virtual
+    /// time from now. A zero-duration sleep completes without yielding.
+    pub fn sleep(&self, duration: Nanos) -> Sleep {
+        Sleep {
+            core: Rc::clone(&self.core),
+            deadline: self.core.now.get() + duration,
+            registered: false,
+        }
+    }
+
+    /// Returns a future that completes at the absolute instant `deadline`
+    /// (immediately if `deadline` has already passed).
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            core: Rc::clone(&self.core),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Yields to other runnable tasks once, without advancing time.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    /// Spawns a task, returning a handle that can await its result.
+    pub fn spawn<T: 'static>(&self, future: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let state = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let state2 = Rc::clone(&state);
+        self.core.spawn(Box::pin(async move {
+            let value = future.await;
+            let mut s = state2.borrow_mut();
+            s.result = Some(value);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        }));
+        JoinHandle { state }
+    }
+
+    /// Number of tasks that have been spawned and not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.core.live_tasks.get()
+    }
+}
+
+/// Future returned by [`SimHandle::sleep`].
+pub struct Sleep {
+    core: Rc<ExecCore>,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.core.now.get() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            self.registered = true;
+            let deadline = self.deadline;
+            self.core.register_timer(deadline, cx.waker().clone());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`SimHandle::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+}
+
+/// Handle to a spawned task; awaiting it yields the task's result.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Returns true if the task has finished.
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.borrow_mut();
+        match s.result.take() {
+            Some(v) => Poll::Ready(v),
+            None => {
+                s.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Owns the executor; see the crate docs for an example.
+pub struct Simulation {
+    handle: SimHandle,
+}
+
+impl Simulation {
+    /// Creates an empty simulation at virtual time zero.
+    pub fn new() -> Self {
+        Simulation {
+            handle: SimHandle {
+                core: ExecCore::new(),
+            },
+        }
+    }
+
+    /// Returns a handle usable inside tasks.
+    pub fn handle(&self) -> SimHandle {
+        self.handle.clone()
+    }
+
+    /// Spawns a task onto the simulation.
+    pub fn spawn<T: 'static>(&self, future: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        self.handle.spawn(future)
+    }
+
+    /// Runs until no work remains; returns the final virtual time.
+    pub fn run(&self) -> SimTime {
+        self.handle.core.run(None, &|| false)
+    }
+
+    /// Runs until `deadline`, or earlier if the simulation drains.
+    pub fn run_until(&self, deadline: SimTime) -> SimTime {
+        self.handle.core.run(Some(deadline), &|| false)
+    }
+
+    /// Spawns `future` and runs the simulation until it completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation runs dry (deadlocks) before the future
+    /// finishes.
+    pub fn block_on<T: 'static>(&self, future: impl Future<Output = T> + 'static) -> T {
+        let out: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let out2 = Rc::clone(&out);
+        self.handle.core.spawn(Box::pin(async move {
+            *out2.borrow_mut() = Some(future.await);
+        }));
+        let done = {
+            let out = Rc::clone(&out);
+            move || out.borrow().is_some()
+        };
+        self.handle.core.run(None, &done);
+        let result = out.borrow_mut().take();
+        result.expect("simulation deadlocked: block_on future never completed")
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Simulation::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let t = sim.block_on(async move {
+            h.sleep(42).await;
+            h.sleep(8).await;
+            h.now().as_nanos()
+        });
+        assert_eq!(t, 50);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        sim.block_on(async move {
+            h.sleep(0).await;
+        });
+    }
+
+    #[test]
+    fn concurrent_sleeps_interleave_deterministically() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (name, delay) in [("a", 30u64), ("b", 10), ("c", 20)] {
+            let h2 = h.clone();
+            let log2 = Rc::clone(&log);
+            sim.spawn(async move {
+                h2.sleep(delay).await;
+                log2.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(&*log.borrow(), &["b", "c", "a"]);
+    }
+
+    #[test]
+    fn same_deadline_fires_in_registration_order() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in 0..5 {
+            let h2 = h.clone();
+            let log2 = Rc::clone(&log);
+            sim.spawn(async move {
+                h2.sleep(100).await;
+                log2.borrow_mut().push(name);
+            });
+        }
+        sim.run();
+        assert_eq!(&*log.borrow(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let result = sim.block_on(async move {
+            let jh = h.spawn(async { 7 });
+            jh.await * 6
+        });
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn join_waits_for_sleeping_task() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let h2 = h.clone();
+        let t = sim.block_on(async move {
+            let jh = h2.spawn({
+                let h3 = h2.clone();
+                async move {
+                    h3.sleep(500).await;
+                    "done"
+                }
+            });
+            assert_eq!(jh.await, "done");
+            h2.now().as_nanos()
+        });
+        assert_eq!(t, 500);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let flag = Rc::new(Cell::new(false));
+        let flag2 = Rc::clone(&flag);
+        sim.spawn(async move {
+            h.sleep(1_000_000).await;
+            flag2.set(true);
+        });
+        let t = sim.run_until(SimTime::from_nanos(500));
+        assert_eq!(t.as_nanos(), 500);
+        assert!(!flag.get());
+        sim.run();
+        assert!(flag.get());
+    }
+
+    #[test]
+    fn yield_now_round_robins() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in 0..2 {
+            let h2 = h.clone();
+            let log2 = Rc::clone(&log);
+            sim.spawn(async move {
+                for round in 0..2 {
+                    log2.borrow_mut().push((name, round));
+                    h2.yield_now().await;
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(&*log.borrow(), &[(0, 0), (1, 0), (0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn live_tasks_tracks_completion() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        assert_eq!(h.live_tasks(), 0);
+        sim.spawn(async {});
+        assert_eq!(h.live_tasks(), 1);
+        sim.run();
+        assert_eq!(h.live_tasks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn block_on_detects_deadlock() {
+        let sim = Simulation::new();
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn many_tasks_scale() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let counter = Rc::new(Cell::new(0u64));
+        for i in 0..10_000 {
+            let h2 = h.clone();
+            let c = Rc::clone(&counter);
+            sim.spawn(async move {
+                h2.sleep(i % 97).await;
+                c.set(c.get() + 1);
+            });
+        }
+        sim.run();
+        assert_eq!(counter.get(), 10_000);
+    }
+}

@@ -1,0 +1,369 @@
+//! Additional virtual-time primitives: reader–writer locks and channels.
+//!
+//! [`SimRwLock`] models kernel locks like `mmap_lock` that are
+//! read-mostly on the fault path but exclusive for address-space
+//! mutation. [`channel`] is an unbounded mpsc queue for actor-style
+//! components.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::sync::{LockStats, WaitQueue};
+use crate::time::SimTime;
+use crate::SimHandle;
+
+/// Reader–writer lock state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RwState {
+    Free,
+    Readers(u32),
+    Writer,
+}
+
+/// A fair (writer-preferring) asynchronous reader–writer lock on virtual
+/// time.
+///
+/// Readers share; writers exclude. Once a writer is waiting, new readers
+/// queue behind it (no writer starvation), like Linux's `rw_semaphore`.
+pub struct SimRwLock {
+    sim: SimHandle,
+    state: Cell<RwState>,
+    waiting_writers: Cell<u32>,
+    readers_queue: WaitQueue,
+    writers_queue: WaitQueue,
+    stats: LockStats,
+}
+
+impl SimRwLock {
+    /// Creates an unlocked lock.
+    pub fn new(sim: SimHandle) -> Self {
+        SimRwLock {
+            sim,
+            state: Cell::new(RwState::Free),
+            waiting_writers: Cell::new(0),
+            readers_queue: WaitQueue::new(),
+            writers_queue: WaitQueue::new(),
+            stats: LockStats::default(),
+        }
+    }
+
+    /// Contention statistics.
+    pub fn stats(&self) -> &LockStats {
+        &self.stats
+    }
+
+    fn record(&self, started: SimTime) {
+        let waited = self.sim.now().saturating_since(started);
+        self.stats.record_acquire(
+            waited,
+            self.readers_queue.len() as u64 + self.writers_queue.len() as u64,
+        );
+    }
+
+    /// Acquires the lock shared. Blocks while a writer holds it or waits.
+    pub async fn read(&self) -> RwReadGuard<'_> {
+        let started = self.sim.now();
+        loop {
+            let can = match self.state.get() {
+                RwState::Writer => false,
+                _ => self.waiting_writers.get() == 0,
+            };
+            if can {
+                let n = match self.state.get() {
+                    RwState::Readers(n) => n,
+                    _ => 0,
+                };
+                self.state.set(RwState::Readers(n + 1));
+                self.record(started);
+                return RwReadGuard { lock: self };
+            }
+            self.readers_queue.wait().await;
+        }
+    }
+
+    /// Acquires the lock exclusive.
+    pub async fn write(&self) -> RwWriteGuard<'_> {
+        let started = self.sim.now();
+        self.waiting_writers.set(self.waiting_writers.get() + 1);
+        loop {
+            if self.state.get() == RwState::Free {
+                self.state.set(RwState::Writer);
+                self.waiting_writers.set(self.waiting_writers.get() - 1);
+                self.record(started);
+                return RwWriteGuard { lock: self };
+            }
+            self.writers_queue.wait().await;
+        }
+    }
+
+    fn release_read(&self) {
+        match self.state.get() {
+            RwState::Readers(1) => {
+                self.state.set(RwState::Free);
+                // Writers first (fairness), else wake queued readers.
+                if !self.writers_queue.wake_one() {
+                    self.readers_queue.wake_all();
+                }
+            }
+            RwState::Readers(n) if n > 1 => self.state.set(RwState::Readers(n - 1)),
+            other => unreachable!("release_read in state {other:?}"),
+        }
+    }
+
+    fn release_write(&self) {
+        debug_assert_eq!(self.state.get(), RwState::Writer);
+        self.state.set(RwState::Free);
+        if !self.writers_queue.wake_one() {
+            self.readers_queue.wake_all();
+        }
+    }
+}
+
+/// Shared guard for [`SimRwLock`].
+pub struct RwReadGuard<'a> {
+    lock: &'a SimRwLock,
+}
+
+impl Drop for RwReadGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.release_read();
+    }
+}
+
+/// Exclusive guard for [`SimRwLock`].
+pub struct RwWriteGuard<'a> {
+    lock: &'a SimRwLock,
+}
+
+impl Drop for RwWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.release_write();
+    }
+}
+
+struct ChannelInner<T> {
+    queue: RefCell<VecDeque<T>>,
+    recv_waiters: WaitQueue,
+    senders: Cell<usize>,
+    receiver_alive: Cell<bool>,
+}
+
+/// Creates an unbounded mpsc channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Rc::new(ChannelInner {
+        queue: RefCell::new(VecDeque::new()),
+        recv_waiters: WaitQueue::new(),
+        senders: Cell::new(1),
+        receiver_alive: Cell::new(true),
+    });
+    (
+        Sender {
+            inner: Rc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T> {
+    inner: Rc<ChannelInner<T>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.set(self.inner.senders.get() + 1);
+        Sender {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        self.inner.senders.set(self.inner.senders.get() - 1);
+        if self.inner.senders.get() == 0 {
+            self.inner.recv_waiters.wake_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message; returns false if the receiver is gone.
+    pub fn send(&self, value: T) -> bool {
+        if !self.inner.receiver_alive.get() {
+            return false;
+        }
+        self.inner.queue.borrow_mut().push_back(value);
+        self.inner.recv_waiters.wake_one();
+        true
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    inner: Rc<ChannelInner<T>>,
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.receiver_alive.set(false);
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next message, or `None` once every sender is dropped
+    /// and the queue is drained.
+    pub async fn recv(&self) -> Option<T> {
+        loop {
+            if let Some(v) = self.inner.queue.borrow_mut().pop_front() {
+                return Some(v);
+            }
+            if self.inner.senders.get() == 0 {
+                return None;
+            }
+            self.inner.recv_waiters.wait().await;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        self.inner.queue.borrow_mut().pop_front()
+    }
+
+    /// Queued messages.
+    pub fn len(&self) -> usize {
+        self.inner.queue.borrow().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.queue.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulation;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let lock = Rc::new(SimRwLock::new(h.clone()));
+        let peak = Rc::new(Cell::new(0u32));
+        let cur = Rc::new(Cell::new(0u32));
+        for _ in 0..4 {
+            let (h, lock, peak, cur) = (
+                h.clone(),
+                Rc::clone(&lock),
+                Rc::clone(&peak),
+                Rc::clone(&cur),
+            );
+            sim.spawn(async move {
+                let _g = lock.read().await;
+                cur.set(cur.get() + 1);
+                peak.set(peak.get().max(cur.get()));
+                h.sleep(100).await;
+                cur.set(cur.get() - 1);
+            });
+        }
+        sim.run();
+        assert_eq!(peak.get(), 4, "readers must run concurrently");
+
+        // Writers serialize: 3 writers x 100ns = 300ns.
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let lock = Rc::new(SimRwLock::new(h.clone()));
+        for _ in 0..3 {
+            let (h, lock) = (h.clone(), Rc::clone(&lock));
+            sim.spawn(async move {
+                let _g = lock.write().await;
+                h.sleep(100).await;
+            });
+        }
+        assert_eq!(sim.run().as_nanos(), 300);
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let lock = Rc::new(SimRwLock::new(h.clone()));
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // Reader A holds 0..100; writer arrives at 10; reader B at 20
+        // must wait behind the writer (fairness).
+        {
+            let (h, lock, log) = (h.clone(), Rc::clone(&lock), Rc::clone(&log));
+            sim.spawn(async move {
+                let _g = lock.read().await;
+                log.borrow_mut().push("ra");
+                h.sleep(100).await;
+            });
+        }
+        {
+            let (h, lock, log) = (h.clone(), Rc::clone(&lock), Rc::clone(&log));
+            sim.spawn(async move {
+                h.sleep(10).await;
+                let _g = lock.write().await;
+                log.borrow_mut().push("w");
+                h.sleep(50).await;
+            });
+        }
+        {
+            let (h, lock, log) = (h.clone(), Rc::clone(&lock), Rc::clone(&log));
+            sim.spawn(async move {
+                h.sleep(20).await;
+                let _g = lock.read().await;
+                log.borrow_mut().push("rb");
+            });
+        }
+        sim.run();
+        assert_eq!(&*log.borrow(), &["ra", "w", "rb"]);
+    }
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let sim = Simulation::new();
+        let (tx, rx) = channel::<u32>();
+        let h = sim.handle();
+        sim.spawn(async move {
+            for i in 0..5 {
+                h.sleep(10).await;
+                assert!(tx.send(i));
+            }
+        });
+        let got = sim.block_on(async move {
+            let mut out = Vec::new();
+            while let Some(v) = rx.recv().await {
+                out.push(v);
+            }
+            out
+        });
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn channel_close_semantics() {
+        let sim = Simulation::new();
+        let (tx, rx) = channel::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        assert!(tx2.send(7));
+        drop(tx2);
+        let got = sim.block_on(async move {
+            let a = rx.recv().await;
+            let b = rx.recv().await;
+            (a, b)
+        });
+        assert_eq!(got, (Some(7), None));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        assert!(!tx.send(1));
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the simulation kernel: determinism, time ordering,
+//! histogram accuracy, and lock fairness under arbitrary schedules.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mage_sim::stats::Histogram;
+use mage_sim::sync::SimMutex;
+use mage_sim::Simulation;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any set of sleeping tasks completes in deadline order, ties broken
+    /// by spawn order, and the simulation ends exactly at the latest
+    /// deadline.
+    #[test]
+    fn sleeps_complete_in_time_order(delays in proptest::collection::vec(0u64..10_000, 1..50)) {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &d) in delays.iter().enumerate() {
+            let h = h.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                h.sleep(d).await;
+                log.borrow_mut().push((h.now().as_nanos(), i));
+            });
+        }
+        let end = sim.run();
+        prop_assert_eq!(end.as_nanos(), delays.iter().copied().max().unwrap_or(0));
+        let log = log.borrow();
+        // Completion times weakly increase; ties resolved by spawn index.
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                let d0 = delays[w[0].1];
+                let d1 = delays[w[1].1];
+                prop_assert_eq!(d0, d1);
+                prop_assert!(w[0].1 < w[1].1, "tie must respect spawn order");
+            }
+        }
+        // Each task completed exactly at its deadline.
+        for &(t, i) in log.iter() {
+            prop_assert_eq!(t, delays[i]);
+        }
+    }
+
+    /// Two identical simulations produce identical event traces.
+    #[test]
+    fn executor_is_deterministic(delays in proptest::collection::vec(0u64..5_000, 1..40)) {
+        let trace = |delays: &[u64]| {
+            let sim = Simulation::new();
+            let h = sim.handle();
+            let log: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+            for (i, &d) in delays.iter().enumerate() {
+                let h = h.clone();
+                let log = Rc::clone(&log);
+                sim.spawn(async move {
+                    h.sleep(d % 97).await;
+                    h.yield_now().await;
+                    h.sleep(d / 97).await;
+                    log.borrow_mut().push(i);
+                });
+            }
+            sim.run();
+            let result = log.borrow().clone();
+            result
+        };
+        prop_assert_eq!(trace(&delays), trace(&delays));
+    }
+
+    /// The mutex admits contenders in exact lock() call order no matter
+    /// how their arrival times and hold times interleave.
+    #[test]
+    fn mutex_is_strictly_fifo(
+        arrivals in proptest::collection::vec((0u64..1_000, 1u64..500), 2..30)
+    ) {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let m = Rc::new(SimMutex::new(h.clone(), ()));
+        let order: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let requested: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &(arrive, hold)) in arrivals.iter().enumerate() {
+            let (h, m) = (h.clone(), Rc::clone(&m));
+            let (order, requested) = (Rc::clone(&order), Rc::clone(&requested));
+            sim.spawn(async move {
+                h.sleep(arrive).await;
+                requested.borrow_mut().push(i);
+                let fut = m.lock();
+                let _g = fut.await;
+                order.borrow_mut().push(i);
+                h.sleep(hold).await;
+            });
+        }
+        sim.run();
+        prop_assert_eq!(&*order.borrow(), &*requested.borrow());
+    }
+
+    /// Histogram quantiles stay within the documented ~3% relative error
+    /// of the exact empirical quantile.
+    #[test]
+    fn histogram_quantile_error_bounded(
+        mut values in proptest::collection::vec(1u64..10_000_000, 10..500),
+        q in 0.01f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1] as f64;
+        let approx = h.quantile(q) as f64;
+        prop_assert!(
+            approx >= exact * 0.96 && approx <= exact * 1.04 + 1.0,
+            "quantile({}) = {} vs exact {}", q, approx, exact
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Open-loop Memcached-style latency-critical service (§6.3).
+//!
+//! Requests arrive Poisson at a configured load, keys follow a
+//! Zipf(0.99) popularity distribution over the KV store's pages
+//! (Facebook USR: 99.8% GET / 0.2% SET), and each of the (24 in the
+//! paper) worker threads serves its own FIFO request queue. The reported
+//! metric is the p99 *sojourn* time — queueing plus service plus any
+//! page faults taken while touching the key's pages.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use mage::{FarMemory, MachineParams, SystemConfig};
+use mage_mmu::{CoreId, Topology};
+use mage_sim::stats::{Counter, Histogram};
+use mage_sim::sync::WaitQueue;
+use mage_sim::time::{Nanos, SimTime};
+use mage_sim::Simulation;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::patterns::Zipf;
+
+/// Configuration of a Memcached latency experiment.
+#[derive(Clone)]
+pub struct MemcachedConfig {
+    /// System under test.
+    pub system: SystemConfig,
+    /// Worker threads (the paper uses 24 to stay on one socket).
+    pub workers: usize,
+    /// KV-store size in pages.
+    pub data_pages: u64,
+    /// Fraction of the store resident locally.
+    pub local_ratio: f64,
+    /// Offered load in M ops/s.
+    pub load_mops: f64,
+    /// Run duration in virtual ns.
+    pub duration_ns: Nanos,
+    /// GET fraction (0.998 for Facebook USR).
+    pub get_ratio: f64,
+    /// Key-popularity skew.
+    pub zipf_theta: f64,
+    /// Pure service compute per request, ns.
+    pub service_ns: Nanos,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl MemcachedConfig {
+    /// The paper's §6.3 setup scaled down.
+    pub fn paper(system: SystemConfig, data_pages: u64) -> Self {
+        MemcachedConfig {
+            system,
+            workers: 24,
+            data_pages,
+            local_ratio: 0.5,
+            load_mops: 0.8,
+            duration_ns: 50_000_000,
+            get_ratio: 0.998,
+            zipf_theta: 0.99,
+            service_ns: 1_500,
+            seed: 42,
+        }
+    }
+}
+
+/// Results of a Memcached run.
+#[derive(Clone, Debug)]
+pub struct MemcachedReport {
+    /// Offered load, M ops/s.
+    pub offered_mops: f64,
+    /// Completed requests per second, M ops/s.
+    pub achieved_mops: f64,
+    /// Mean sojourn, ns.
+    pub mean_ns: f64,
+    /// Median sojourn, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile sojourn, ns (the paper's SLO metric).
+    pub p99_ns: u64,
+    /// Major faults taken while serving.
+    pub major_faults: u64,
+    /// Synchronous evictions on the serving path.
+    pub sync_evictions: u64,
+    /// p99 of the major-fault latency itself (excluding queueing).
+    pub fault_p99_ns: u64,
+    /// Requests that stalled waiting for a free page.
+    pub free_waits: u64,
+    /// Longest free-page stall, ns.
+    pub free_wait_max_ns: u64,
+    /// Faults that waited on a page mid-eviction or mid-fault.
+    pub page_lock_waits: u64,
+}
+
+struct WorkerQueue {
+    requests: RefCell<VecDeque<(SimTime, u64, bool)>>,
+    signal: WaitQueue,
+}
+
+/// Runs the Memcached experiment.
+pub fn run_memcached(cfg: &MemcachedConfig) -> MemcachedReport {
+    let sim = Simulation::new();
+    let local_pages = if cfg.local_ratio >= 0.999 {
+        // All-local: headroom above the (memory-scaled) watermarks so
+        // nothing evicts.
+        cfg.data_pages
+            + cfg.data_pages / 16
+            + 3 * (cfg.system.evictors as u64) * (cfg.system.eviction_batch as u64)
+            + 256
+    } else {
+        ((cfg.data_pages as f64 * cfg.local_ratio) as u64).max(1024)
+    };
+    let params = MachineParams {
+        topo: Topology::xeon_6348_dual(),
+        app_threads: cfg.workers,
+        local_pages,
+        remote_pages: cfg.data_pages + 1024,
+        tlb_entries: 1_536,
+        seed: cfg.seed,
+    };
+    let engine = FarMemory::launch(sim.handle(), cfg.system.clone(), params);
+    let vma = engine.mmap(cfg.data_pages);
+    engine.populate(&vma);
+
+    let queues: Vec<Rc<WorkerQueue>> = (0..cfg.workers)
+        .map(|_| {
+            Rc::new(WorkerQueue {
+                requests: RefCell::new(VecDeque::new()),
+                signal: WaitQueue::new(),
+            })
+        })
+        .collect();
+    let sojourn = Rc::new(Histogram::new());
+    let completed = Rc::new(Counter::new());
+    let stop = Rc::new(std::cell::Cell::new(false));
+
+    // Workers.
+    for (w, queue) in queues.iter().enumerate() {
+        let engine = Rc::clone(&engine);
+        let queue = Rc::clone(queue);
+        let sojourn = Rc::clone(&sojourn);
+        let completed = Rc::clone(&completed);
+        let stop = Rc::clone(&stop);
+        let h = sim.handle();
+        let base = vma.start_vpn;
+        let service = cfg.service_ns;
+        sim.spawn(async move {
+            let core = CoreId(w as u32);
+            loop {
+                let next = queue.requests.borrow_mut().pop_front();
+                let Some((arrival, page, write)) = next else {
+                    if stop.get() {
+                        break;
+                    }
+                    queue.signal.wait().await;
+                    continue;
+                };
+                engine.access(core, base + page, write).await;
+                let compute = engine.inflate_compute(service);
+                h.sleep(compute).await;
+                sojourn.record(h.now().saturating_since(arrival));
+                completed.inc();
+            }
+        });
+    }
+
+    // Load generator.
+    {
+        let h = sim.handle();
+        let queues = queues.clone();
+        let stop = Rc::clone(&stop);
+        let zipf = Zipf::new(cfg.data_pages, cfg.zipf_theta);
+        let mean_gap_ns = 1e3 / cfg.load_mops;
+        let duration = cfg.duration_ns;
+        let get_ratio = cfg.get_ratio;
+        let seed = cfg.seed;
+        sim.spawn(async move {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut next_worker = 0usize;
+            while h.now().as_nanos() < duration {
+                let u: f64 = rng.gen();
+                let gap = (-(1.0 - u).ln() * mean_gap_ns).max(1.0) as u64;
+                h.sleep(gap).await;
+                let page = zipf.sample(&mut rng);
+                let write = rng.gen::<f64>() >= get_ratio;
+                let q = &queues[next_worker];
+                next_worker = (next_worker + 1) % queues.len();
+                q.requests.borrow_mut().push_back((h.now(), page, write));
+                q.signal.wake_one();
+            }
+            // Drain: let workers exit once their queues are empty.
+            stop.set(true);
+            for q in &queues {
+                q.signal.wake_all();
+            }
+        });
+    }
+
+    let h = sim.handle();
+    let drain = cfg.duration_ns + 20_000_000;
+    sim.block_on(async move { h.sleep(drain).await });
+    engine.shutdown();
+
+    MemcachedReport {
+        offered_mops: cfg.load_mops,
+        achieved_mops: completed.get() as f64 * 1e3 / cfg.duration_ns as f64,
+        mean_ns: sojourn.mean(),
+        p50_ns: sojourn.p50(),
+        p99_ns: sojourn.p99(),
+        major_faults: engine.stats().major_faults.get(),
+        sync_evictions: engine.stats().sync_evictions.get(),
+        fault_p99_ns: engine.stats().fault_latency.p99(),
+        free_waits: {
+            let fw = engine.stats().free_wait.borrow();
+            fw.count()
+        },
+        free_wait_max_ns: {
+            let fw = engine.stats().free_wait.borrow();
+            fw.max()
+        },
+        page_lock_waits: engine.stats().page_lock_waits.get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(system: SystemConfig, local_ratio: f64, load_mops: f64) -> MemcachedReport {
+        let mut cfg = MemcachedConfig::paper(system, 30_000);
+        cfg.workers = 8;
+        cfg.local_ratio = local_ratio;
+        cfg.load_mops = load_mops;
+        cfg.duration_ns = 20_000_000;
+        run_memcached(&cfg)
+    }
+
+    #[test]
+    fn all_local_service_is_fast() {
+        let r = quick(SystemConfig::mage_lib(), 1.0, 0.3);
+        assert_eq!(r.major_faults, 0);
+        assert!(r.p99_ns < 20_000, "p99 {}", r.p99_ns);
+        assert!(r.achieved_mops > 0.25);
+    }
+
+    #[test]
+    fn offloading_raises_tail_latency() {
+        let local = quick(SystemConfig::mage_lib(), 1.0, 0.3);
+        let off = quick(SystemConfig::mage_lib(), 0.4, 0.3);
+        assert!(off.major_faults > 0);
+        assert!(off.p99_ns > local.p99_ns);
+    }
+
+    #[test]
+    fn mage_tail_beats_hermit_under_pressure() {
+        let mage = quick(SystemConfig::mage_lib(), 0.4, 0.5);
+        let hermit = quick(SystemConfig::hermit(), 0.4, 0.5);
+        assert!(
+            mage.p99_ns < hermit.p99_ns,
+            "mage p99 {} vs hermit {}",
+            mage.p99_ns,
+            hermit.p99_ns
+        );
+    }
+}

@@ -1,0 +1,390 @@
+//! Access-pattern generators for the paper's applications (Table 1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(θ) sampler over `{0, …, n-1}` using the continuous
+/// inverse-CDF approximation (adequate for workload skew; the exact
+/// harmonic normalization differs by <2% at θ = 0.99).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    one_minus_theta: f64,
+    norm: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with skew `theta` in `(0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let one_minus_theta = 1.0 - theta;
+        Zipf {
+            n,
+            one_minus_theta,
+            norm: (n as f64).powf(one_minus_theta) - 1.0,
+        }
+    }
+
+    /// Draws one sample; small indices are the hottest.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let u: f64 = rng.gen();
+        let x = (u * self.norm + 1.0).powf(1.0 / self.one_minus_theta);
+        (x as u64 - 1).min(self.n - 1)
+    }
+}
+
+/// One application memory operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// Page index within the working set.
+    pub page: u64,
+    /// Whether the access writes.
+    pub write: bool,
+    /// Application compute following the access, ns.
+    pub compute_ns: u64,
+}
+
+/// Which application's access pattern to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// GapBS page rank: random graph walks over a Kronecker (power-law)
+    /// graph — zipf-skewed page popularity, light per-access compute.
+    RandomGraph,
+    /// XSBench: random unionized-grid lookups — mildly skewed pages,
+    /// heavy per-access compute.
+    XsBench,
+    /// Dataframe-style sequential scan over per-thread shards.
+    SeqScan,
+    /// GUPS with a phase change: zipfian updates in the first 80% of the
+    /// working set (phase 0), then the remaining 20% (phase 1).
+    Gups,
+    /// Metis MapReduce: sequential map over an input shard with scattered
+    /// intermediate writes (phase 0), then random-read reduce (phase 1).
+    Metis,
+    /// §3.2 microbenchmark: sequential reads over a private region sized
+    /// so that every access is a major fault.
+    SeqFault,
+}
+
+impl WorkloadKind {
+    /// Base per-access compute in ns (before virtualization inflation).
+    pub fn compute_ns(&self) -> u64 {
+        match self {
+            WorkloadKind::RandomGraph => 150,
+            WorkloadKind::XsBench => 1_400,
+            // Table 2: the paper's checksum scan sustains 8.61 M ops/s
+            // all-local at 48 threads => ~5.6 us per 4 KiB page.
+            WorkloadKind::SeqScan => 5_600,
+            WorkloadKind::Gups => 120,
+            WorkloadKind::Metis => 400,
+            WorkloadKind::SeqFault => 0,
+        }
+    }
+
+    /// Whether this workload has a phase change (drives Figs. 11–12).
+    pub fn has_phases(&self) -> bool {
+        matches!(self, WorkloadKind::Gups | WorkloadKind::Metis)
+    }
+}
+
+/// A per-thread access stream.
+///
+/// Streams are infinite; the runner decides how many ops to draw. Phase
+/// changes (GUPS, Metis) are driven externally via [`Stream::set_phase`].
+pub struct Stream {
+    kind: WorkloadKind,
+    thread: u64,
+    threads: u64,
+    wss_pages: u64,
+    rng: SmallRng,
+    zipf_a: Zipf,
+    zipf_b: Zipf,
+    /// Hot component of the random-access workloads (power-law page
+    /// popularity).
+    zipf_wss: Zipf,
+    /// Probability (per mille) that an access is uniform over the whole
+    /// working set instead of zipf-hot.
+    uniform_permille: u32,
+    seq_pos: u64,
+    phase: usize,
+}
+
+impl Stream {
+    /// Creates the stream for `thread` of `threads` over `wss_pages`.
+    pub fn new(
+        kind: WorkloadKind,
+        thread: usize,
+        threads: usize,
+        wss_pages: u64,
+        seed: u64,
+    ) -> Self {
+        let region_a = (wss_pages * 4 / 5).max(1);
+        let region_b = (wss_pages - region_a).max(1);
+        // Mixture calibrated against the paper's ideal curves (Figs. 1,
+        // 3, 9): a zipf(0.99) hot component (power-law vertex/grid
+        // popularity) plus a uniform cold component. Solving the §3.1
+        // ideal model against the paper's reported drops gives ~3%
+        // uniform for GapBS and ~43% for XSBench (whose heavy per-access
+        // compute hides a far more uniform grid).
+        let uniform_permille = match kind {
+            WorkloadKind::RandomGraph => 30u32,
+            _ => 430,
+        };
+        Stream {
+            kind,
+            thread: thread as u64,
+            threads: threads.max(1) as u64,
+            wss_pages,
+            rng: SmallRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9)),
+            zipf_a: Zipf::new(region_a, 0.99),
+            zipf_b: Zipf::new(region_b, 0.99),
+            zipf_wss: Zipf::new(wss_pages, 0.99),
+            uniform_permille,
+            seq_pos: 0,
+            phase: 0,
+        }
+    }
+
+    /// Draws a page from the zipf+uniform mixture, scattering hot ranks
+    /// across the address space so that popularity is not spatially
+    /// sequential.
+    fn mixed_page(&mut self) -> u64 {
+        if self.rng.gen_ratio(self.uniform_permille, 1_000) {
+            self.rng.gen_range(0..self.wss_pages)
+        } else {
+            let rank = self.zipf_wss.sample(&mut self.rng);
+            mage_sim::rng::mix64(rank) % self.wss_pages
+        }
+    }
+
+    /// The workload kind.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Current phase (0 or 1).
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Switches the stream to `phase` (working-set shift).
+    pub fn set_phase(&mut self, phase: usize) {
+        if phase != self.phase {
+            self.phase = phase;
+            self.seq_pos = 0;
+        }
+    }
+
+    /// My contiguous shard of `[0, wss)` for sequential workloads.
+    fn shard(&self) -> (u64, u64) {
+        let per = self.wss_pages / self.threads;
+        let start = self.thread * per;
+        let len = if self.thread == self.threads - 1 {
+            self.wss_pages - start
+        } else {
+            per
+        };
+        (start, len.max(1))
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> Op {
+        let compute = self.kind.compute_ns();
+        match self.kind {
+            WorkloadKind::RandomGraph => Op {
+                page: self.mixed_page(),
+                write: self.rng.gen_ratio(1, 20),
+                compute_ns: compute,
+            },
+            WorkloadKind::XsBench => Op {
+                page: self.mixed_page(),
+                write: false,
+                compute_ns: compute,
+            },
+            WorkloadKind::SeqScan | WorkloadKind::SeqFault => {
+                let (start, len) = self.shard();
+                let page = start + self.seq_pos % len;
+                self.seq_pos += 1;
+                Op {
+                    page,
+                    write: false,
+                    compute_ns: compute,
+                }
+            }
+            WorkloadKind::Gups => {
+                let region_a = (self.wss_pages * 4 / 5).max(1);
+                let page = if self.phase == 0 {
+                    self.zipf_a.sample(&mut self.rng)
+                } else {
+                    region_a + self.zipf_b.sample(&mut self.rng)
+                };
+                Op {
+                    page: page.min(self.wss_pages - 1),
+                    write: true,
+                    compute_ns: compute,
+                }
+            }
+            WorkloadKind::Metis => {
+                // Input 60%, intermediate 30%, output 10% of the WSS.
+                let input = (self.wss_pages * 6 / 10).max(1);
+                let inter = (self.wss_pages * 3 / 10).max(1);
+                let output = (self.wss_pages - input - inter).max(1);
+                if self.phase == 0 {
+                    // Map: sequential input reads; every 4th op scatters a
+                    // write into the intermediate region.
+                    self.seq_pos += 1;
+                    if self.seq_pos % 4 == 0 {
+                        Op {
+                            page: input + self.rng.gen_range(0..inter),
+                            write: true,
+                            compute_ns: compute,
+                        }
+                    } else {
+                        let (start, len) = {
+                            let per = input / self.threads;
+                            let s = self.thread * per;
+                            (s, per.max(1))
+                        };
+                        Op {
+                            page: start + (self.seq_pos / 4 * 3 + self.seq_pos % 4) % len,
+                            write: false,
+                            compute_ns: compute,
+                        }
+                    }
+                } else {
+                    // Reduce: random intermediate reads + output writes.
+                    self.seq_pos += 1;
+                    if self.seq_pos % 8 == 0 {
+                        Op {
+                            page: input + inter + self.rng.gen_range(0..output),
+                            write: true,
+                            compute_ns: compute,
+                        }
+                    } else {
+                        Op {
+                            page: input + self.rng.gen_range(0..inter),
+                            write: false,
+                            compute_ns: compute,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut head = 0u64;
+        let n = 100_000;
+        for _ in 0..n {
+            let v = z.sample(&mut rng);
+            assert!(v < 10_000);
+            if v < 100 {
+                head += 1;
+            }
+        }
+        // Zipf(0.99): the top 1% of keys draw well over a third of
+        // accesses; uniform would give 1%.
+        assert!(head as f64 / n as f64 > 0.3, "head share {head}");
+    }
+
+    #[test]
+    fn zipf_deterministic_for_seed() {
+        let z = Zipf::new(1000, 0.9);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn seqscan_shards_are_disjoint_and_cover() {
+        let threads = 4;
+        let wss = 1_000;
+        let mut seen = vec![false; wss as usize];
+        for t in 0..threads {
+            let mut s = Stream::new(WorkloadKind::SeqScan, t, threads, wss, 1);
+            let (start, len) = s.shard();
+            for _ in 0..len {
+                let op = s.next_op();
+                assert!(op.page >= start && op.page < start + len);
+                seen[op.page as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "shards must cover the WSS");
+    }
+
+    #[test]
+    fn seqscan_wraps_around() {
+        let mut s = Stream::new(WorkloadKind::SeqScan, 0, 2, 100, 1);
+        let first = s.next_op().page;
+        for _ in 0..49 {
+            s.next_op();
+        }
+        assert_eq!(s.next_op().page, first, "wraps after the shard");
+    }
+
+    #[test]
+    fn gups_phases_use_disjoint_regions() {
+        let wss = 10_000;
+        let mut s = Stream::new(WorkloadKind::Gups, 0, 1, wss, 3);
+        let boundary = wss * 4 / 5;
+        for _ in 0..1_000 {
+            assert!(s.next_op().page < boundary, "phase 0 stays in region A");
+        }
+        s.set_phase(1);
+        for _ in 0..1_000 {
+            assert!(s.next_op().page >= boundary, "phase 1 stays in region B");
+        }
+    }
+
+    #[test]
+    fn gups_is_write_heavy() {
+        let mut s = Stream::new(WorkloadKind::Gups, 0, 1, 1000, 3);
+        assert!((0..100).all(|_| s.next_op().write));
+    }
+
+    #[test]
+    fn metis_map_reads_input_reduce_reads_intermediate() {
+        let wss = 10_000;
+        let input = wss * 6 / 10;
+        let inter = wss * 3 / 10;
+        let mut s = Stream::new(WorkloadKind::Metis, 0, 2, wss, 5);
+        let mut map_reads_in_input = 0;
+        for _ in 0..400 {
+            let op = s.next_op();
+            if !op.write && op.page < input {
+                map_reads_in_input += 1;
+            }
+        }
+        assert!(map_reads_in_input > 250);
+        s.set_phase(1);
+        let mut reduce_in_inter = 0;
+        for _ in 0..400 {
+            let op = s.next_op();
+            if op.page >= input && op.page < input + inter {
+                reduce_in_inter += 1;
+            }
+        }
+        assert!(reduce_in_inter > 250);
+    }
+
+    #[test]
+    fn compute_costs_ordered() {
+        assert!(WorkloadKind::XsBench.compute_ns() > WorkloadKind::RandomGraph.compute_ns());
+        assert_eq!(WorkloadKind::SeqFault.compute_ns(), 0);
+    }
+}

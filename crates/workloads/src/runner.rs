@@ -1,0 +1,644 @@
+//! Experiment runners: closed-loop batch jobs, open-loop fault storms,
+//! and raw-RDMA load generators.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use mage::{Access, FarMemory, MachineParams, SystemConfig};
+use mage_mmu::{CoreId, Topology};
+use mage_sim::stats::{Counter, Histogram};
+use mage_sim::time::{Nanos, SECS};
+use mage_sim::Simulation;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::patterns::{Stream, WorkloadKind};
+
+/// Configuration of one closed-loop batch experiment.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// The system under test.
+    pub system: SystemConfig,
+    /// Access pattern.
+    pub kind: WorkloadKind,
+    /// Application threads (thread *i* runs on core *i*).
+    pub threads: usize,
+    /// Working-set size in pages.
+    pub wss_pages: u64,
+    /// Fraction of the WSS resident locally (1 − offload ratio).
+    pub local_ratio: f64,
+    /// Operations per thread.
+    pub ops_per_thread: u64,
+    /// Unmeasured operations per thread executed before the measurement
+    /// window (lets cache residency converge to the access distribution;
+    /// statistics and the clock origin are reset afterwards).
+    pub warmup_ops: u64,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Start with every page remote (§3.2 fault-storm setup).
+    pub all_remote: bool,
+    /// Switch phase-change workloads to phase 1 at this virtual time.
+    pub phase_change_at_ns: Option<Nanos>,
+    /// Switch phase-change workloads to phase 1 after this many ops per
+    /// thread (Metis-style explicit barrier).
+    pub phase_change_at_op: Option<u64>,
+    /// Record an ops-throughput timeline at this interval.
+    pub sample_interval_ns: Option<Nanos>,
+    /// Machine topology.
+    pub topo: Topology,
+}
+
+impl RunConfig {
+    /// A testbed-shaped run with sensible defaults.
+    pub fn new(
+        system: SystemConfig,
+        kind: WorkloadKind,
+        threads: usize,
+        wss_pages: u64,
+        local_ratio: f64,
+    ) -> Self {
+        RunConfig {
+            system,
+            kind,
+            threads,
+            wss_pages,
+            local_ratio,
+            ops_per_thread: (wss_pages / threads.max(1) as u64).max(1_000),
+            warmup_ops: 0,
+            seed: 42,
+            all_remote: false,
+            phase_change_at_ns: None,
+            phase_change_at_op: None,
+            sample_interval_ns: None,
+            topo: Topology::xeon_6348_dual(),
+        }
+    }
+
+    fn local_pages(&self) -> u64 {
+        if self.local_ratio >= 0.999 {
+            // All-local runs need headroom above the watermarks (which
+            // scale with both the eviction batch and memory size) so that
+            // nothing ever evicts.
+            self.wss_pages
+                + self.wss_pages / 16
+                + 3 * (self.system.evictors as u64) * (self.system.eviction_batch as u64)
+                + 256
+        } else {
+            ((self.wss_pages as f64 * self.local_ratio) as u64).max(512)
+        }
+    }
+}
+
+/// Results of one batch run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// System name.
+    pub system: &'static str,
+    /// Virtual runtime of the job (start → slowest thread done), ns.
+    pub runtime_ns: Nanos,
+    /// Total application operations completed.
+    pub total_ops: u64,
+    /// Major faults observed.
+    pub major_faults: u64,
+    /// Per-thread major-fault counts (feeds the §3.1 ideal model).
+    pub faults_per_thread: Vec<u64>,
+    /// Mean major-fault latency, ns.
+    pub fault_mean_ns: f64,
+    /// p50 major-fault latency, ns.
+    pub fault_p50_ns: u64,
+    /// p99 major-fault latency, ns.
+    pub fault_p99_ns: u64,
+    /// Per-component fault breakdown means.
+    pub breakdown: mage::BreakdownMeans,
+    /// Synchronous evictions performed on the fault path.
+    pub sync_evictions: u64,
+    /// Pages evicted in the background.
+    pub evicted_pages: u64,
+    /// Mean TLB-shootdown latency, ns.
+    pub shootdown_mean_ns: f64,
+    /// Mean per-IPI latency, ns.
+    pub ipi_mean_ns: f64,
+    /// Achieved RDMA read bandwidth, Gbps.
+    pub read_gbps: f64,
+    /// Achieved RDMA write bandwidth, Gbps.
+    pub write_gbps: f64,
+    /// Pages prefetched.
+    pub prefetches: u64,
+    /// Ops-per-bucket timeline, if sampling was enabled.
+    pub timeline: Vec<(Nanos, u64)>,
+    /// Per-thread instant of the phase-0 → phase-1 switch (0 if none).
+    pub phase_switch_ns: Vec<Nanos>,
+    /// Faults that cancelled an in-flight eviction (refault dedup).
+    pub evict_cancels: u64,
+    /// Time faulting threads spent waiting for free pages (count, mean).
+    pub free_wait_count: u64,
+    /// Mean free-page wait, ns.
+    pub free_wait_mean_ns: f64,
+}
+
+impl RunReport {
+    /// Application throughput in M ops/s.
+    pub fn mops(&self) -> f64 {
+        if self.runtime_ns == 0 {
+            return 0.0;
+        }
+        self.total_ops as f64 * 1e3 / self.runtime_ns as f64
+    }
+
+    /// Major-fault throughput in M faults/s.
+    pub fn fault_mops(&self) -> f64 {
+        if self.runtime_ns == 0 {
+            return 0.0;
+        }
+        self.major_faults as f64 * 1e3 / self.runtime_ns as f64
+    }
+
+    /// Jobs/hour for a batch job of this runtime.
+    pub fn jobs_per_hour(&self) -> f64 {
+        if self.runtime_ns == 0 {
+            return 0.0;
+        }
+        3_600.0e9 / self.runtime_ns as f64
+    }
+}
+
+/// Runs one closed-loop batch experiment to completion.
+pub fn run_batch(cfg: &RunConfig) -> RunReport {
+    let sim = Simulation::new();
+    let params = MachineParams {
+        topo: cfg.topo,
+        app_threads: cfg.threads,
+        local_pages: cfg.local_pages(),
+        remote_pages: cfg.wss_pages + 1024,
+        tlb_entries: 1_536,
+        seed: cfg.seed,
+    };
+    let engine = FarMemory::launch(sim.handle(), cfg.system.clone(), params);
+    let vma = engine.mmap(cfg.wss_pages);
+    if cfg.all_remote {
+        engine.populate_all_remote(&vma);
+    } else {
+        engine.populate(&vma);
+    }
+
+    let ops_counter = Rc::new(Counter::new());
+    let phase = Rc::new(Cell::new(0usize));
+    let done = Rc::new(Cell::new(0usize));
+    let timeline = Rc::new(RefCell::new(Vec::new()));
+    let warmed = Rc::new(Cell::new(0usize));
+    let start_line = Rc::new(mage_sim::sync::WaitQueue::new());
+    let t_start = Rc::new(Cell::new(0u64));
+
+    // Phase-change trigger by virtual time (GUPS).
+    if let Some(at) = cfg.phase_change_at_ns {
+        let h = sim.handle();
+        let p = Rc::clone(&phase);
+        sim.spawn(async move {
+            h.sleep(at).await;
+            p.set(1);
+        });
+    }
+
+    // Throughput timeline sampler.
+    if let Some(interval) = cfg.sample_interval_ns {
+        let h = sim.handle();
+        let ops = Rc::clone(&ops_counter);
+        let tl = Rc::clone(&timeline);
+        let done = Rc::clone(&done);
+        let threads = cfg.threads;
+        sim.spawn(async move {
+            let mut last = 0u64;
+            while done.get() < threads {
+                h.sleep(interval).await;
+                let cur = ops.get();
+                tl.borrow_mut().push((h.now().as_nanos(), cur - last));
+                last = cur;
+            }
+        });
+    }
+
+    // Application threads.
+    let mut joins = Vec::new();
+    for t in 0..cfg.threads {
+        let engine = Rc::clone(&engine);
+        let h = sim.handle();
+        let ops_counter = Rc::clone(&ops_counter);
+        let phase = Rc::clone(&phase);
+        let done = Rc::clone(&done);
+        let mut stream = Stream::new(cfg.kind, t, cfg.threads, cfg.wss_pages, cfg.seed);
+        let ops = cfg.ops_per_thread;
+        let warmup = cfg.warmup_ops;
+        let base = vma.start_vpn;
+        let phase_at_op = cfg.phase_change_at_op;
+        let warmed = Rc::clone(&warmed);
+        let start_line = Rc::clone(&start_line);
+        let t_start = Rc::clone(&t_start);
+        let threads = cfg.threads;
+        joins.push(sim.spawn(async move {
+            let core = CoreId(t as u32);
+            // Warmup: converge residency, then rendezvous at a start line
+            // where the last thread resets the statistics.
+            if warmup > 0 {
+                for _ in 0..warmup {
+                    let op = stream.next_op();
+                    engine.access(core, base + op.page, op.write).await;
+                    let compute = engine.inflate_compute(op.compute_ns);
+                    if compute > 0 {
+                        h.sleep(compute).await;
+                    }
+                }
+            }
+            warmed.set(warmed.get() + 1);
+            if warmed.get() == threads {
+                engine.stats().reset();
+                t_start.set(h.now().as_nanos());
+                start_line.wake_all();
+            } else {
+                start_line.wait().await;
+            }
+            let mut faults = 0u64;
+            let mut switch_ns = 0u64;
+            for i in 0..ops {
+                if let Some(at) = phase_at_op {
+                    if i == at {
+                        stream.set_phase(1);
+                        switch_ns = h.now().as_nanos();
+                    }
+                }
+                if stream.kind().has_phases()
+                    && phase.get() != stream.phase()
+                    && phase_at_op.is_none()
+                {
+                    stream.set_phase(phase.get());
+                    switch_ns = h.now().as_nanos();
+                }
+                let op = stream.next_op();
+                let access = engine.access(core, base + op.page, op.write).await;
+                if matches!(access, Access::Major { .. }) {
+                    faults += 1;
+                }
+                let compute = engine.inflate_compute(op.compute_ns);
+                if compute > 0 {
+                    h.sleep(compute).await;
+                }
+                ops_counter.inc();
+            }
+            done.set(done.get() + 1);
+            (faults, switch_ns, h.now().as_nanos())
+        }));
+    }
+
+    let per_thread = sim.block_on(async move {
+        let mut out = Vec::new();
+        for j in joins {
+            out.push(j.await);
+        }
+        out
+    });
+    engine.shutdown();
+
+    let runtime_ns = per_thread
+        .iter()
+        .map(|&(_, _, end)| end)
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(t_start.get());
+    let faults_per_thread: Vec<u64> = per_thread.iter().map(|&(f, _, _)| f).collect();
+    let phase_switch_ns: Vec<Nanos> = per_thread.iter().map(|&(_, s, _)| s).collect();
+    report_from(
+        &engine,
+        cfg,
+        runtime_ns,
+        ops_counter.get(),
+        faults_per_thread,
+        phase_switch_ns,
+        timeline,
+    )
+}
+
+fn report_from(
+    engine: &FarMemory,
+    cfg: &RunConfig,
+    runtime_ns: Nanos,
+    total_ops: u64,
+    faults_per_thread: Vec<u64>,
+    phase_switch_ns: Vec<Nanos>,
+    timeline: Rc<RefCell<Vec<(Nanos, u64)>>>,
+) -> RunReport {
+    let s = engine.stats();
+    let ipi = engine.interrupts().stats();
+    let free_wait = s.free_wait.borrow().clone();
+    RunReport {
+        system: cfg.system.name,
+        runtime_ns,
+        total_ops,
+        major_faults: s.major_faults.get(),
+        faults_per_thread,
+        fault_mean_ns: s.fault_latency.mean(),
+        fault_p50_ns: s.fault_latency.p50(),
+        fault_p99_ns: s.fault_latency.p99(),
+        breakdown: s.breakdown.means(),
+        sync_evictions: s.sync_evictions.get(),
+        evicted_pages: s.evicted_pages.get() + s.sync_evicted_pages.get(),
+        shootdown_mean_ns: ipi.shootdown_latency.mean(),
+        ipi_mean_ns: ipi.ipi_latency.mean(),
+        read_gbps: engine.nic().read_gbps(runtime_ns),
+        write_gbps: engine.nic().write_gbps(runtime_ns),
+        prefetches: s.prefetches.get(),
+        timeline: timeline.borrow().clone(),
+        phase_switch_ns,
+        evict_cancels: s.evict_cancels.get(),
+        free_wait_count: free_wait.count(),
+        free_wait_mean_ns: free_wait.mean(),
+    }
+}
+
+/// Report of an open-loop experiment.
+#[derive(Clone, Debug)]
+pub struct OpenLoopReport {
+    /// Offered load, M ops/s.
+    pub offered_mops: f64,
+    /// Achieved completion rate, M ops/s.
+    pub achieved_mops: f64,
+    /// Mean request latency, ns.
+    pub mean_ns: f64,
+    /// p50 request latency, ns.
+    pub p50_ns: u64,
+    /// p99 request latency, ns.
+    pub p99_ns: u64,
+    /// Synchronous evictions during the run.
+    pub sync_evictions: u64,
+    /// Achieved read bandwidth, Gbps.
+    pub read_gbps: f64,
+    /// Requests that stalled waiting for a free page.
+    pub free_waits: u64,
+    /// Longest free-page stall, ns.
+    pub free_wait_max_ns: u64,
+    /// p99 of the engine-level fault latency (excluding request queueing).
+    pub fault_p99_ns: u64,
+}
+
+/// Drives the fault path open-loop at `rate_mops` for `duration_ns`,
+/// touching fresh (remote) pages in sequence (Fig. 15 setup).
+pub fn run_open_loop_faults(
+    system: SystemConfig,
+    threads: usize,
+    wss_pages: u64,
+    local_ratio: f64,
+    rate_mops: f64,
+    duration_ns: Nanos,
+    seed: u64,
+) -> OpenLoopReport {
+    let sim = Simulation::new();
+    let local_pages = ((wss_pages as f64 * local_ratio) as u64).max(1024);
+    let params = MachineParams {
+        topo: Topology::xeon_6348_dual(),
+        app_threads: threads,
+        local_pages,
+        remote_pages: wss_pages + 1024,
+        tlb_entries: 1_536,
+        seed,
+    };
+    let engine = FarMemory::launch(sim.handle(), system, params);
+    let vma = engine.mmap(wss_pages);
+    // Normal placement: local memory starts full of resident pages so the
+    // driver operates in eviction steady state from the first request
+    // (the paper's Fig. 15 regime), not in a one-off fill phase.
+    engine.populate(&vma);
+    let first_remote = engine.accounting().resident_pages();
+    let remote_span = wss_pages - first_remote;
+
+    let latency = Rc::new(Histogram::new());
+    let completed = Rc::new(Counter::new());
+    let issued = Rc::new(Counter::new());
+
+    // The generator issues requests with exponential inter-arrivals,
+    // spreading them round-robin over the worker cores.
+    let h = sim.handle();
+    let gen_engine = Rc::clone(&engine);
+    let gen_latency = Rc::clone(&latency);
+    let gen_completed = Rc::clone(&completed);
+    let gen_issued = Rc::clone(&issued);
+    let base = vma.start_vpn;
+    sim.spawn(async move {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mean_gap_ns = 1e3 / rate_mops; // ns between arrivals
+        let mut next_page = 0u64;
+        let mut core = 0u32;
+        while h.now().as_nanos() < duration_ns {
+            let u: f64 = rng.gen();
+            let gap = (-(1.0 - u).ln() * mean_gap_ns).max(1.0) as u64;
+            h.sleep(gap).await;
+            let page = base + first_remote + (next_page % remote_span);
+            next_page += 1;
+            let c = CoreId(core % threads as u32);
+            core += 1;
+            gen_issued.inc();
+            let e = Rc::clone(&gen_engine);
+            let lat = Rc::clone(&gen_latency);
+            let comp = Rc::clone(&gen_completed);
+            let h2 = h.clone();
+            h.spawn(async move {
+                let t0 = h2.now();
+                e.access(c, page, false).await;
+                lat.record(h2.now() - t0);
+                comp.inc();
+            });
+        }
+    });
+
+    let h = sim.handle();
+    sim.block_on(async move { h.sleep(duration_ns + 2 * SECS / 100).await });
+    engine.shutdown();
+
+    let free_wait = engine.stats().free_wait.borrow().clone();
+    OpenLoopReport {
+        offered_mops: rate_mops,
+        achieved_mops: completed.get() as f64 * 1e3 / duration_ns as f64,
+        mean_ns: latency.mean(),
+        p50_ns: latency.p50(),
+        p99_ns: latency.p99(),
+        sync_evictions: engine.stats().sync_evictions.get(),
+        read_gbps: engine.nic().read_gbps(duration_ns),
+        free_waits: free_wait.count(),
+        free_wait_max_ns: free_wait.max(),
+        fault_p99_ns: engine.stats().fault_latency.p99(),
+    }
+}
+
+/// Raw RDMA reads at `rate_mops` with 4 background writer threads
+/// saturating the write direction (the Fig. 15 "RDMA" baseline).
+pub fn run_raw_rdma(rate_mops: f64, duration_ns: Nanos, seed: u64) -> OpenLoopReport {
+    use mage_fabric::{Nic, NicConfig};
+    let sim = Simulation::new();
+    let nic = Rc::new(Nic::new(sim.handle(), NicConfig::bluefield2_200g()));
+    let latency = Rc::new(Histogram::new());
+    let completed = Rc::new(Counter::new());
+
+    // Background writers: keep the tx direction busy, mirroring eviction
+    // traffic ("4 background threads constantly performing RDMA writes").
+    for _ in 0..4 {
+        let nic = Rc::clone(&nic);
+        let h = sim.handle();
+        sim.spawn(async move {
+            while h.now().as_nanos() < duration_ns {
+                nic.post_write(4096).await;
+            }
+        });
+    }
+
+    let h = sim.handle();
+    let gen_nic = Rc::clone(&nic);
+    let gen_latency = Rc::clone(&latency);
+    let gen_completed = Rc::clone(&completed);
+    sim.spawn(async move {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mean_gap_ns = 1e3 / rate_mops;
+        while h.now().as_nanos() < duration_ns {
+            let u: f64 = rng.gen();
+            let gap = (-(1.0 - u).ln() * mean_gap_ns).max(1.0) as u64;
+            h.sleep(gap).await;
+            let nic = Rc::clone(&gen_nic);
+            let lat = Rc::clone(&gen_latency);
+            let comp = Rc::clone(&gen_completed);
+            let h2 = h.clone();
+            h.spawn(async move {
+                let t0 = h2.now();
+                nic.post_read(4096).await;
+                lat.record(h2.now() - t0);
+                comp.inc();
+            });
+        }
+    });
+
+    let h = sim.handle();
+    sim.block_on(async move { h.sleep(duration_ns + SECS / 100).await });
+
+    OpenLoopReport {
+        offered_mops: rate_mops,
+        achieved_mops: completed.get() as f64 * 1e3 / duration_ns as f64,
+        mean_ns: latency.mean(),
+        p50_ns: latency.p50(),
+        p99_ns: latency.p99(),
+        sync_evictions: 0,
+        read_gbps: nic.read_gbps(duration_ns),
+        free_waits: 0,
+        free_wait_max_ns: 0,
+        fault_p99_ns: latency.p99(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(system: SystemConfig, kind: WorkloadKind, local_ratio: f64) -> RunConfig {
+        let mut cfg = RunConfig::new(system, kind, 4, 8_192, local_ratio);
+        cfg.ops_per_thread = 4_000;
+        cfg.topo = Topology::single_socket(10);
+        cfg
+    }
+
+    #[test]
+    fn all_local_run_has_no_faults() {
+        let report = run_batch(&tiny(
+            SystemConfig::mage_lib(),
+            WorkloadKind::RandomGraph,
+            1.0,
+        ));
+        assert_eq!(report.major_faults, 0, "all-local must not fault");
+        assert!(report.total_ops == 16_000);
+        assert!(report.mops() > 0.0);
+    }
+
+    #[test]
+    fn offloading_causes_faults_and_slowdown() {
+        let local = run_batch(&tiny(
+            SystemConfig::mage_lib(),
+            WorkloadKind::RandomGraph,
+            1.0,
+        ));
+        let off = run_batch(&tiny(
+            SystemConfig::mage_lib(),
+            WorkloadKind::RandomGraph,
+            0.5,
+        ));
+        assert!(off.major_faults > 1_000);
+        assert!(off.runtime_ns > local.runtime_ns);
+        assert!(off.read_gbps > 0.0);
+    }
+
+    #[test]
+    fn mage_beats_hermit_at_high_offload() {
+        // The differentiation regime is high thread count (the paper's
+        // Fig. 18b shows near-parity at 4 threads).
+        let run16 = |system: SystemConfig| {
+            let mut cfg = RunConfig::new(system, WorkloadKind::RandomGraph, 16, 16_384, 0.4);
+            cfg.ops_per_thread = 6_000;
+            cfg.warmup_ops = 1_500;
+            run_batch(&cfg)
+        };
+        let mage = run16(SystemConfig::mage_lib());
+        let hermit = run16(SystemConfig::hermit());
+        assert!(
+            mage.mops() > hermit.mops(),
+            "mage {:.3} vs hermit {:.3} Mops",
+            mage.mops(),
+            hermit.mops()
+        );
+        assert_eq!(mage.sync_evictions, 0);
+    }
+
+    #[test]
+    fn timeline_sampling_records_buckets() {
+        let mut cfg = tiny(SystemConfig::mage_lib(), WorkloadKind::Gups, 0.85);
+        cfg.sample_interval_ns = Some(200_000);
+        cfg.phase_change_at_ns = Some(1_000_000);
+        let report = run_batch(&cfg);
+        assert!(report.timeline.len() > 3);
+        let total: u64 = report.timeline.iter().map(|&(_, o)| o).sum();
+        assert!(total <= report.total_ops);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let a = run_batch(&tiny(SystemConfig::dilos(), WorkloadKind::XsBench, 0.7));
+        let b = run_batch(&tiny(SystemConfig::dilos(), WorkloadKind::XsBench, 0.7));
+        assert_eq!(a.runtime_ns, b.runtime_ns);
+        assert_eq!(a.major_faults, b.major_faults);
+        assert_eq!(a.fault_p99_ns, b.fault_p99_ns);
+    }
+
+    #[test]
+    fn open_loop_latency_grows_with_load() {
+        let lo = run_open_loop_faults(
+            SystemConfig::mage_lib(),
+            8,
+            200_000,
+            0.4,
+            0.2,
+            20_000_000,
+            1,
+        );
+        let hi = run_open_loop_faults(
+            SystemConfig::mage_lib(),
+            8,
+            200_000,
+            0.4,
+            4.0,
+            20_000_000,
+            1,
+        );
+        assert!(hi.p99_ns > lo.p99_ns, "hi {} lo {}", hi.p99_ns, lo.p99_ns);
+        assert!(lo.achieved_mops > 0.1);
+    }
+
+    #[test]
+    fn raw_rdma_saturates_near_ceiling() {
+        let r = run_raw_rdma(5.0, 50_000_000, 3);
+        assert!(r.achieved_mops > 4.0, "achieved {}", r.achieved_mops);
+        let sat = run_raw_rdma(8.0, 50_000_000, 3);
+        // Offered above the 5.86 Mops ceiling: queueing explodes p99.
+        assert!(sat.p99_ns > 10 * r.p99_ns);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based integration tests: random machine shapes and access
+//! mixes preserve the engine's safety and accounting invariants.
+
+use std::rc::Rc;
+
+use mage_far_memory::mmu::Topology;
+use mage_far_memory::prelude::*;
+use proptest::prelude::*;
+
+/// Drives a random access mix on a random machine and returns
+/// (major_faults, evicted, resident, free, local_pages).
+fn stress(
+    system: SystemConfig,
+    threads: u32,
+    local_pages: u64,
+    wss_pages: u64,
+    ops: u32,
+    seed: u64,
+) -> (u64, u64, u64, u64) {
+    let sim = Simulation::new();
+    let params = MachineParams {
+        topo: Topology::single_socket(threads + 6),
+        app_threads: threads as usize,
+        local_pages,
+        remote_pages: wss_pages + 512,
+        tlb_entries: 128,
+        seed,
+    };
+    let engine = FarMemory::launch(sim.handle(), system, params);
+    let vma = engine.mmap(wss_pages);
+    engine.populate(&vma);
+    let mut joins = Vec::new();
+    for t in 0..threads {
+        let e = Rc::clone(&engine);
+        joins.push(sim.spawn(async move {
+            let mut x = seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            for _ in 0..ops {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let page = (x >> 33) % wss_pages;
+                e.access(CoreId(t), vma.start_vpn + page, x % 5 == 0).await;
+            }
+        }));
+    }
+    sim.block_on(async move {
+        for j in joins {
+            j.await;
+        }
+    });
+    engine.shutdown();
+    (
+        engine.stats().major_faults.get(),
+        engine.stats().evicted_pages.get() + engine.stats().sync_evicted_pages.get(),
+        engine.accounting().resident_pages(),
+        engine.allocator().free_frames(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every system and random shape: runs terminate (no deadlock),
+    /// frames are conserved, and residency never exceeds the quota.
+    #[test]
+    fn engine_invariants_hold(
+        sys_idx in 0usize..4,
+        threads in 1u32..9,
+        local_frac in 3u64..9,     // local = wss * frac / 10
+        wss_pages in 2_000u64..6_000,
+        ops in 500u32..1_500,
+        seed in 0u64..1_000_000,
+    ) {
+        let system = match sys_idx {
+            0 => SystemConfig::mage_lib(),
+            1 => SystemConfig::mage_lnx(),
+            2 => SystemConfig::dilos(),
+            _ => SystemConfig::hermit(),
+        };
+        let local_pages = (wss_pages * local_frac / 10).max(600);
+        let (faults, evicted, resident, free) =
+            stress(system, threads, local_pages, wss_pages, ops, seed);
+
+        // Terminated (this line being reached) and produced work.
+        prop_assert!(faults + evicted < u64::MAX);
+        // No over-commit: resident + free never exceeds the quota.
+        prop_assert!(
+            resident + free <= local_pages,
+            "resident {} + free {} > quota {}", resident, free, local_pages
+        );
+        // No massive leak: the unaccounted slack is bounded by the
+        // eviction pipeline's in-flight capacity.
+        let slack = local_pages - (resident + free);
+        prop_assert!(
+            slack <= 4 * 256 * 3 + 64,
+            "{} frames unaccounted", slack
+        );
+    }
+
+    /// Determinism: same shape, same seed → identical outcome for a
+    /// randomly chosen configuration.
+    #[test]
+    fn determinism_for_random_shapes(
+        threads in 1u32..6,
+        wss_pages in 2_000u64..4_000,
+        seed in 0u64..100_000,
+    ) {
+        let a = stress(SystemConfig::mage_lib(), threads, wss_pages / 2, wss_pages, 600, seed);
+        let b = stress(SystemConfig::mage_lib(), threads, wss_pages / 2, wss_pages, 600, seed);
+        prop_assert_eq!(a, b);
+    }
+}
