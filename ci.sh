@@ -1,0 +1,28 @@
+#!/bin/sh
+# CI gate: build, test, determinism lint, clippy. Fails on the first error.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> simlint (determinism rules, DESIGN.md §5)"
+cargo run -p simlint
+
+echo "==> simlint self-check (fixture must fail)"
+if cargo run -q -p simlint -- crates/simlint/fixtures/violations.rs >/dev/null 2>&1; then
+    echo "error: simlint accepted the seeded violation fixture" >&2
+    exit 1
+fi
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -134,8 +134,9 @@ impl PageAccounting {
             costs,
             partitions: (0..n)
                 .map(|_| {
-                    SimMutex::new(
+                    SimMutex::new_named(
                         sim.clone(),
+                        "accounting.lists",
                         Lists {
                             inactive: VecDeque::new(),
                             active: VecDeque::new(),
@@ -402,7 +403,7 @@ mod tests {
                 a.insert(0, vpn).await;
             }
             // Pages 0 and 1 are hot on first inspection only.
-            let hot = std::cell::RefCell::new(std::collections::HashSet::from([0u64, 1]));
+            let hot = std::cell::RefCell::new(std::collections::BTreeSet::from([0u64, 1]));
             let is_hot = |vpn: u64| hot.borrow_mut().remove(&vpn);
             let mut victims = Vec::new();
             a.take_victims(0, 0, 2, &is_hot, &mut victims).await;

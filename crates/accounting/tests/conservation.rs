@@ -1,12 +1,12 @@
-//! Property tests: page accounting never loses or duplicates pages.
+//! Randomized tests: page accounting never loses or duplicates pages.
 
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::rc::Rc;
 
 use mage_accounting::{AccountingCosts, AccountingKind, PageAccounting};
+use mage_sim::rng::SplitMix64;
 use mage_sim::Simulation;
-use proptest::prelude::*;
 
 fn kind_from(idx: u8, partitions: usize) -> AccountingKind {
     match idx % 3 {
@@ -16,20 +16,19 @@ fn kind_from(idx: u8, partitions: usize) -> AccountingKind {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Every inserted page is eventually handed out exactly once as a victim
+/// (when nothing is hot), regardless of structure, partition count,
+/// interleaving, or batch sizes.
+#[test]
+fn pages_conserved_through_scans() {
+    let rng = SplitMix64::new(0xC025_E12E);
+    for case in 0..32u64 {
+        let kind_idx = rng.next_below(3) as u8;
+        let partitions = (1 + rng.next_below(8)) as usize;
+        let pages = 1 + rng.next_below(399);
+        let batch = (1 + rng.next_below(63)) as usize;
+        let evictors = (1 + rng.next_below(4)) as usize;
 
-    /// Every inserted page is eventually handed out exactly once as a
-    /// victim (when nothing is hot), regardless of structure, partition
-    /// count, interleaving, or batch sizes.
-    #[test]
-    fn pages_conserved_through_scans(
-        kind_idx in 0u8..3,
-        partitions in 1usize..9,
-        pages in 1u64..400,
-        batch in 1usize..64,
-        evictors in 1usize..5,
-    ) {
         let sim = Simulation::new();
         let acct = Rc::new(PageAccounting::new(
             sim.handle(),
@@ -46,7 +45,7 @@ proptest! {
                 }
             });
         }
-        prop_assert_eq!(acct.resident_pages(), pages);
+        assert_eq!(acct.resident_pages(), pages);
 
         // Concurrent evictors drain everything.
         let victims: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
@@ -72,26 +71,29 @@ proptest! {
         sim.run();
 
         let got = victims.borrow();
-        let set: HashSet<u64> = got.iter().copied().collect();
-        prop_assert_eq!(set.len(), got.len(), "a page was handed out twice");
-        prop_assert_eq!(got.len() as u64, pages, "pages lost in the lists");
-        prop_assert_eq!(acct.resident_pages(), 0);
+        let set: BTreeSet<u64> = got.iter().copied().collect();
+        assert_eq!(set.len(), got.len(), "case {case}: a page was handed out twice");
+        assert_eq!(got.len() as u64, pages, "case {case}: pages lost in the lists");
+        assert_eq!(acct.resident_pages(), 0);
     }
+}
 
-    /// With a one-shot hotness oracle, hot pages are never the *first*
-    /// victims and are still evicted exactly once overall.
-    #[test]
-    fn second_chance_defers_but_never_duplicates(
-        pages in 4u64..200,
-        hot_stride in 2u64..8,
-    ) {
+/// With a one-shot hotness oracle, hot pages are never the *first*
+/// victims and are still evicted exactly once overall.
+#[test]
+fn second_chance_defers_but_never_duplicates() {
+    let rng = SplitMix64::new(0x2ECD_CACE);
+    for _ in 0..32 {
+        let pages = 4 + rng.next_below(196);
+        let hot_stride = 2 + rng.next_below(6);
+
         let sim = Simulation::new();
         let acct = Rc::new(PageAccounting::new(
             sim.handle(),
             AccountingKind::GlobalLru,
             AccountingCosts::default(),
         ));
-        let hot: Rc<RefCell<HashSet<u64>>> = Rc::new(RefCell::new(
+        let hot: Rc<RefCell<BTreeSet<u64>>> = Rc::new(RefCell::new(
             (0..pages).filter(|v| v % hot_stride == 0).collect(),
         ));
         let acct2 = Rc::clone(&acct);
@@ -109,12 +111,12 @@ proptest! {
             }
             out
         });
-        let set: HashSet<u64> = victims.iter().copied().collect();
-        prop_assert_eq!(set.len() as u64, pages, "duplicates or losses");
+        let set: BTreeSet<u64> = victims.iter().copied().collect();
+        assert_eq!(set.len() as u64, pages, "duplicates or losses");
         // The first victim must be a cold page (hot pages got a second
         // chance), as long as there was at least one cold page.
         if pages > pages / hot_stride {
-            prop_assert!(victims[0] % hot_stride != 0, "hot page evicted first");
+            assert!(!victims[0].is_multiple_of(hot_stride), "hot page evicted first");
         }
     }
 }

@@ -1,87 +1,94 @@
-//! Criterion micro-benchmarks for the hot data structures: buddy
-//! allocator alloc/free, TLB fill/invalidate, page-table updates and
-//! histogram recording. These bound the *host-side* cost of a simulated
-//! event, which determines how large an experiment the harness can run.
+//! Micro-benchmarks for the hot data structures: buddy allocator
+//! alloc/free, TLB fill/invalidate, page-table updates and histogram
+//! recording. These bound the *host-side* cost of a simulated event,
+//! which determines how large an experiment the harness can run.
+//!
+//! Self-contained timing loop (no external bench framework): each case
+//! is warmed up, then run for a fixed iteration count several times, and
+//! the best per-iteration time is reported. Host wall-clock use is fine
+//! here — this binary measures the simulator, it is not part of it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+use mage_bench::Experiment;
 use mage_mmu::{PageTable, Pte, Tlb};
 use mage_palloc::BuddyAllocator;
 use mage_sim::stats::Histogram;
 
-fn bench_buddy(c: &mut Criterion) {
-    c.bench_function("buddy_alloc_free_cycle", |b| {
-        let mut buddy = BuddyAllocator::new(1 << 16);
-        b.iter(|| {
-            let f = buddy.alloc(0).expect("frame");
-            buddy.free(std::hint::black_box(f), 0);
-        });
-    });
-    c.bench_function("buddy_batch_64", |b| {
-        let mut buddy = BuddyAllocator::new(1 << 16);
-        let mut out = Vec::with_capacity(64);
-        b.iter(|| {
-            out.clear();
-            buddy.alloc_batch(64, &mut out);
-            buddy.free_batch(std::hint::black_box(&out));
-        });
-    });
-}
+const ITERS: u64 = 200_000;
+const ROUNDS: usize = 5;
 
-fn bench_tlb(c: &mut Criterion) {
-    c.bench_function("tlb_fill_invalidate", |b| {
-        let tlb = Tlb::new(1_536, 7);
-        let mut vpn = 0u64;
-        b.iter(|| {
-            tlb.fill(std::hint::black_box(vpn));
-            tlb.invalidate(vpn);
-            vpn += 1;
-        });
-    });
-    c.bench_function("tlb_lookup_hit", |b| {
-        let tlb = Tlb::new(1_536, 7);
-        for v in 0..1_000 {
-            tlb.fill(v);
+/// Runs `f` for `ITERS` iterations `ROUNDS` times (after one warm-up
+/// round) and returns the best observed nanoseconds per iteration.
+fn best_ns_per_iter(mut f: impl FnMut(u64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for round in 0..=ROUNDS {
+        let start = Instant::now();
+        for i in 0..ITERS {
+            f(i);
         }
-        let mut vpn = 0u64;
-        b.iter(|| {
-            std::hint::black_box(tlb.lookup(vpn % 1_000));
-            vpn += 1;
-        });
-    });
-}
-
-fn bench_pagetable(c: &mut Criterion) {
-    c.bench_function("pagetable_update", |b| {
-        let pt = PageTable::new();
-        for v in 0..10_000u64 {
-            pt.set(v, Pte::present(v));
+        let ns = start.elapsed().as_nanos() as f64 / ITERS as f64;
+        if round > 0 {
+            best = best.min(ns);
         }
-        let mut vpn = 0u64;
-        b.iter(|| {
-            pt.update(std::hint::black_box(vpn % 10_000), |p| {
-                p.with_accessed(true)
-            });
-            vpn += 1;
-        });
-    });
+    }
+    best
 }
 
-fn bench_histogram(c: &mut Criterion) {
-    c.bench_function("histogram_record", |b| {
-        let h = Histogram::new();
-        let mut v = 1u64;
-        b.iter(|| {
-            h.record(std::hint::black_box(v));
-            v = v.wrapping_mul(6364136223846793005).wrapping_add(1) >> 34;
-        });
-    });
-}
+fn main() {
+    let mut exp = Experiment::new(
+        "micro",
+        "Host-side cost of hot data-structure operations (best ns/iter)",
+        &["case", "ns_per_iter"],
+    );
 
-criterion_group!(
-    benches,
-    bench_buddy,
-    bench_tlb,
-    bench_pagetable,
-    bench_histogram
-);
-criterion_main!(benches);
+    let mut buddy = BuddyAllocator::new(1 << 16);
+    let ns = best_ns_per_iter(|_| {
+        let f = buddy.alloc(0).expect("frame");
+        buddy.free(std::hint::black_box(f), 0);
+    });
+    exp.row(vec!["buddy_alloc_free_cycle".into(), format!("{ns:.1}")]);
+
+    let mut buddy = BuddyAllocator::new(1 << 16);
+    let mut out = Vec::with_capacity(64);
+    let ns = best_ns_per_iter(|_| {
+        out.clear();
+        buddy.alloc_batch(64, &mut out);
+        buddy.free_batch(std::hint::black_box(&out));
+    });
+    exp.row(vec!["buddy_batch_64".into(), format!("{ns:.1}")]);
+
+    let tlb = Tlb::new(1_536, 7);
+    let ns = best_ns_per_iter(|i| {
+        tlb.fill(std::hint::black_box(i));
+        tlb.invalidate(i);
+    });
+    exp.row(vec!["tlb_fill_invalidate".into(), format!("{ns:.1}")]);
+
+    let tlb = Tlb::new(1_536, 7);
+    for v in 0..1_000 {
+        tlb.fill(v);
+    }
+    let ns = best_ns_per_iter(|i| {
+        std::hint::black_box(tlb.lookup(i % 1_000));
+    });
+    exp.row(vec!["tlb_lookup_hit".into(), format!("{ns:.1}")]);
+
+    let pt = PageTable::new();
+    for v in 0..10_000u64 {
+        pt.set(v, Pte::present(v));
+    }
+    let ns = best_ns_per_iter(|i| {
+        pt.update(std::hint::black_box(i % 10_000), |p| p.with_accessed(true));
+    });
+    exp.row(vec!["pagetable_update".into(), format!("{ns:.1}")]);
+
+    let h = Histogram::new();
+    let ns = best_ns_per_iter(|i| {
+        let v = i.wrapping_mul(6364136223846793005).wrapping_add(1) >> 34;
+        h.record(std::hint::black_box(v.max(1)));
+    });
+    exp.row(vec!["histogram_record".into(), format!("{ns:.1}")]);
+
+    exp.finish();
+}

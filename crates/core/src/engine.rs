@@ -14,7 +14,7 @@
 //! categories.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::{Rc, Weak};
 
 use mage_accounting::PageAccounting;
@@ -102,14 +102,14 @@ pub struct FarMemory {
     pub(crate) acct: Rc<PageAccounting>,
     pub(crate) app_cores: Vec<CoreId>,
     pub(crate) evictor_cores: Vec<CoreId>,
-    pub(crate) page_waiters: RefCell<HashMap<u64, Rc<WaitQueue>>>,
+    pub(crate) page_waiters: RefCell<BTreeMap<u64, Rc<WaitQueue>>>,
     /// Pages unmapped by an in-flight eviction batch, mapping vpn →
     /// (frame, generation); a concurrent fault can cancel the eviction by
     /// reclaiming the entry (the swap-cache-refault / unified-page-table
     /// dedup of §5.2). The generation tag prevents a finished batch from
     /// claiming an entry that a *later* batch re-created after a
     /// cancellation (ABA).
-    pub(crate) evicting: RefCell<HashMap<u64, (u64, u64)>>,
+    pub(crate) evicting: RefCell<BTreeMap<u64, (u64, u64)>>,
     pub(crate) evict_gen: Cell<u64>,
     pub(crate) free_waiters: WaitQueue,
     pub(crate) active_evictors: Cell<usize>,
@@ -149,11 +149,11 @@ impl FarMemory {
         ));
         let remote = match cfg.remote_alloc {
             RemoteAllocKind::DirectMap => RemoteAllocator::DirectMap,
-            RemoteAllocKind::SwapLock => RemoteAllocator::Swap(SwapBitmap::new(
+            RemoteAllocKind::SwapLock => RemoteAllocator::Swap(Box::new(SwapBitmap::new(
                 sim.clone(),
                 params.remote_pages,
                 cfg.costs.swap_slot_ns,
-            )),
+            ))),
         };
         let acct = Rc::new(PageAccounting::new(
             sim.clone(),
@@ -190,8 +190,8 @@ impl FarMemory {
             acct,
             app_cores,
             evictor_cores,
-            page_waiters: RefCell::new(HashMap::new()),
-            evicting: RefCell::new(HashMap::new()),
+            page_waiters: RefCell::new(BTreeMap::new()),
+            evicting: RefCell::new(BTreeMap::new()),
             evict_gen: Cell::new(0),
             free_waiters: WaitQueue::new(),
             active_evictors: Cell::new(cfg.evictors),

@@ -389,7 +389,7 @@ impl FarMemory {
         while pipe
             .rsb
             .front()
-            .is_some_and(|(_, c)| c.as_ref().map_or(true, |c| c.completes_at() <= now))
+            .is_some_and(|(_, c)| c.as_ref().is_none_or(|c| c.completes_at() <= now))
         {
             let (batch, _) = pipe.rsb.pop_front().expect("checked non-empty");
             self.finalize_batch(core, &batch, false).await;

@@ -1,21 +1,23 @@
-//! Property tests for the link model: work conservation, FIFO ordering,
-//! and bandwidth ceilings under arbitrary offered loads.
+//! Randomized tests for the link model: work conservation, FIFO
+//! ordering, and bandwidth ceilings under seeded arbitrary loads.
 
 use std::rc::Rc;
 
 use mage_fabric::{Nic, NicConfig};
+use mage_sim::rng::SplitMix64;
 use mage_sim::Simulation;
-use proptest::prelude::*;
 
-proptest! {
-    /// The link is work-conserving and never exceeds its bandwidth: for
-    /// any burst of reads posted at time 0, total completion time equals
-    /// total serialization plus one base latency, and completions occur
-    /// in post order.
-    #[test]
-    fn burst_is_serialized_exactly(
-        sizes in proptest::collection::vec(64u64..64_000, 1..50),
-    ) {
+/// The link is work-conserving and never exceeds its bandwidth: for any
+/// burst of reads posted at time 0, total completion time equals total
+/// serialization plus one base latency, and completions occur in post
+/// order.
+#[test]
+fn burst_is_serialized_exactly() {
+    let rng = SplitMix64::new(0x5E71_A112);
+    for _ in 0..32 {
+        let sizes: Vec<u64> = (0..1 + rng.next_below(49))
+            .map(|_| 64 + rng.next_below(64_000 - 64))
+            .collect();
         let sim = Simulation::new();
         let cfg = NicConfig {
             bandwidth_bytes_per_ns: 10.0,
@@ -29,28 +31,34 @@ proptest! {
         let mut prev = 0;
         for c in &completions {
             let at = c.completes_at().as_nanos();
-            prop_assert!(at >= prev, "completions out of order");
+            assert!(at >= prev, "completions out of order");
             prev = at;
         }
         let total_ser: u64 = sizes.iter().map(|&s| cfg.serialize_ns(s)).sum();
         let last = completions.last().unwrap().completes_at().as_nanos();
-        prop_assert_eq!(last, total_ser + cfg.base_read_ns);
+        assert_eq!(last, total_ser + cfg.base_read_ns);
         // Await them all; the simulation must end at the last completion.
         sim.block_on(async move {
             for c in completions {
                 c.await;
             }
         });
-        prop_assert_eq!(sim.handle().now().as_nanos(), last);
+        assert_eq!(sim.handle().now().as_nanos(), last);
     }
+}
 
-    /// Reads and writes never interfere (full duplex): a write burst does
-    /// not delay a read burst posted at the same time.
-    #[test]
-    fn full_duplex_independence(
-        reads in proptest::collection::vec(512u64..8_192, 1..20),
-        writes in proptest::collection::vec(512u64..8_192, 1..20),
-    ) {
+/// Reads and writes never interfere (full duplex): a write burst does
+/// not delay a read burst posted at the same time.
+#[test]
+fn full_duplex_independence() {
+    let rng = SplitMix64::new(0xD09E_EF11);
+    for _ in 0..32 {
+        let reads: Vec<u64> = (0..1 + rng.next_below(19))
+            .map(|_| 512 + rng.next_below(8_192 - 512))
+            .collect();
+        let writes: Vec<u64> = (0..1 + rng.next_below(19))
+            .map(|_| 512 + rng.next_below(8_192 - 512))
+            .collect();
         let mk = || {
             let sim = Simulation::new();
             let nic = Rc::new(Nic::new(sim.handle(), NicConfig::bluefield2_200g()));
@@ -65,34 +73,38 @@ proptest! {
         // Reads with concurrent writes.
         let (_s2, nic2) = mk();
         for &w in &writes {
-            let _ = nic2.post_write(w);
+            drop(nic2.post_write(w));
         }
         let mixed: Vec<u64> = reads
             .iter()
             .map(|&r| nic2.post_read(r).completes_at().as_nanos())
             .collect();
-        prop_assert_eq!(solo, mixed);
+        assert_eq!(solo, mixed);
     }
+}
 
-    /// Byte accounting is exact.
-    #[test]
-    fn byte_accounting_exact(
-        sizes in proptest::collection::vec(1u64..100_000, 1..40),
-    ) {
+/// Byte accounting is exact.
+#[test]
+fn byte_accounting_exact() {
+    let rng = SplitMix64::new(0xB17E_ACC7);
+    for _ in 0..32 {
+        let sizes: Vec<u64> = (0..1 + rng.next_below(39))
+            .map(|_| 1 + rng.next_below(99_999))
+            .collect();
         let sim = Simulation::new();
         let nic = Rc::new(Nic::new(sim.handle(), NicConfig::bluefield2_200g()));
         let mut reads = 0u64;
         let mut writes = 0u64;
         for (i, &s) in sizes.iter().enumerate() {
-            if i % 2 == 0 {
-                let _ = nic.post_read(s);
+            if i.is_multiple_of(2) {
+                drop(nic.post_read(s));
                 reads += s;
             } else {
-                let _ = nic.post_write(s);
+                drop(nic.post_write(s));
                 writes += s;
             }
         }
-        prop_assert_eq!(nic.stats().read_bytes.get(), reads);
-        prop_assert_eq!(nic.stats().write_bytes.get(), writes);
+        assert_eq!(nic.stats().read_bytes.get(), reads);
+        assert_eq!(nic.stats().write_bytes.get(), writes);
     }
 }

@@ -88,7 +88,7 @@ impl AddressSpace {
             vmas: BTreeMap::new(),
             lock_model,
             locks: (0..n_locks)
-                .map(|_| Rc::new(SimMutex::new(sim.clone(), ())))
+                .map(|_| Rc::new(SimMutex::new_named(sim.clone(), "mmu.vma-shard", ())))
                 .collect(),
             next_vpn: 0x10_0000, // leave low addresses unmapped
             next_remote: 0,
@@ -193,7 +193,7 @@ mod tests {
         let mut sharded = space(VmaLockModel::Sharded(8));
         let v = sharded.mmap(1 << 14);
         // Different 2 MiB extents should spread across shards.
-        let shards: std::collections::HashSet<_> = (0..32)
+        let shards: std::collections::BTreeSet<_> = (0..32)
             .map(|i| Rc::as_ptr(sharded.lock_for(v.start_vpn + i * 512).unwrap()))
             .collect();
         assert!(shards.len() > 1, "sharding must use multiple locks");

@@ -127,9 +127,9 @@ impl Pte {
 pub struct PageTable {
     /// Interior nodes; entry 0 is the root. Slots hold `child_index + 1`
     /// (0 = empty). The last interior level's slots index into `leaves`.
-    interior: RefCell<Vec<Box<[u32; FANOUT]>>>,
+    interior: RefCell<Vec<[u32; FANOUT]>>,
     /// Leaf nodes of raw PTE words.
-    leaves: RefCell<Vec<Box<[u64; FANOUT]>>>,
+    leaves: RefCell<Vec<[u64; FANOUT]>>,
 }
 
 impl Default for PageTable {
@@ -142,7 +142,7 @@ impl PageTable {
     /// Creates an empty page table.
     pub fn new() -> Self {
         PageTable {
-            interior: RefCell::new(vec![Box::new([0; FANOUT])]),
+            interior: RefCell::new(vec![[0; FANOUT]]),
             leaves: RefCell::new(Vec::new()),
         }
     }
@@ -164,13 +164,13 @@ impl PageTable {
             } else if !create {
                 return None;
             } else if level < 2 {
-                interior.push(Box::new([0; FANOUT]));
+                interior.push([0; FANOUT]);
                 let idx = interior.len() - 1;
                 interior[node][slot] = idx as u32 + 1;
                 idx
             } else {
                 let mut leaves = self.leaves.borrow_mut();
-                leaves.push(Box::new([0; FANOUT]));
+                leaves.push([0; FANOUT]);
                 let idx = leaves.len() - 1;
                 interior[node][slot] = idx as u32 + 1;
                 idx

@@ -17,7 +17,7 @@
 //! (see `mage_mmu::ipi`).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use mage_sim::rng::SplitMix64;
 use mage_sim::stats::Counter;
@@ -26,7 +26,7 @@ use mage_sim::stats::Counter;
 pub struct Tlb {
     capacity: usize,
     /// vpn → slot in `order` (for O(1) invalidation).
-    map: RefCell<HashMap<u64, usize>>,
+    map: RefCell<BTreeMap<u64, usize>>,
     /// Insertion vector for random replacement.
     order: RefCell<Vec<u64>>,
     rng: SplitMix64,
@@ -44,7 +44,7 @@ impl Tlb {
     pub fn new(capacity: usize, seed: u64) -> Self {
         Tlb {
             capacity,
-            map: RefCell::new(HashMap::new()),
+            map: RefCell::new(BTreeMap::new()),
             order: RefCell::new(Vec::new()),
             rng: SplitMix64::new(seed),
             hits: Counter::new(),

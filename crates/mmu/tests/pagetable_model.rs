@@ -1,24 +1,23 @@
-//! Model-based property tests: the radix page table must behave exactly
-//! like a flat map, and the TLB like a bounded set.
+//! Model-based randomized tests: the radix page table must behave
+//! exactly like a flat map, and the TLB like a bounded set.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use mage_mmu::{PageTable, Pte, Tlb};
-use proptest::prelude::*;
+use mage_sim::rng::SplitMix64;
 
-proptest! {
-    /// Arbitrary interleavings of set/update/get agree with a HashMap
-    /// model across the whole 36-bit VPN space.
-    #[test]
-    fn pagetable_matches_flat_map(
-        ops in proptest::collection::vec(
-            (0u8..3, 0u64..(1 << 36), 0u64..(1 << 40)),
-            1..300,
-        )
-    ) {
+/// Arbitrary interleavings of set/update/get agree with a flat-map model
+/// across the whole 36-bit VPN space.
+#[test]
+fn pagetable_matches_flat_map() {
+    let rng = SplitMix64::new(0x9A6E_7AB1);
+    for _ in 0..32 {
         let pt = PageTable::new();
-        let mut model: HashMap<u64, u64> = HashMap::new();
-        for (op, vpn, val) in ops {
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for _ in 0..1 + rng.next_below(299) {
+            let op = rng.next_below(3);
+            let vpn = rng.next_below(1 << 36);
+            let val = rng.next_below(1 << 40);
             match op {
                 0 => {
                     pt.set(vpn, Pte(val));
@@ -27,67 +26,77 @@ proptest! {
                 1 => {
                     let old = pt.update(vpn, |p| Pte(p.0 ^ val));
                     let entry = model.entry(vpn).or_insert(0);
-                    prop_assert_eq!(old.0, *entry);
+                    assert_eq!(old.0, *entry);
                     *entry ^= val;
                 }
                 _ => {
                     let got = pt.get(vpn).0;
                     let want = model.get(&vpn).copied().unwrap_or(0);
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
         }
         for (vpn, want) in model {
-            prop_assert_eq!(pt.get(vpn).0, want);
+            assert_eq!(pt.get(vpn).0, want);
         }
     }
+}
 
-    /// The TLB never exceeds capacity, never reports an invalidated
-    /// entry, and always reports a just-filled entry (until evicted).
-    #[test]
-    fn tlb_is_a_bounded_set(
-        capacity in 1usize..64,
-        ops in proptest::collection::vec((0u8..2, 0u64..128), 1..300),
-    ) {
+/// The TLB never exceeds capacity, never reports an invalidated entry,
+/// and always reports a just-filled entry (until evicted).
+#[test]
+fn tlb_is_a_bounded_set() {
+    let rng = SplitMix64::new(0x71B0_5E77);
+    for _ in 0..32 {
+        let capacity = (1 + rng.next_below(63)) as usize;
         let tlb = Tlb::new(capacity, 99);
-        let mut model: std::collections::HashSet<u64> = std::collections::HashSet::new();
-        for (op, vpn) in ops {
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for _ in 0..1 + rng.next_below(299) {
+            let op = rng.next_below(2);
+            let vpn = rng.next_below(128);
             match op {
                 0 => {
                     tlb.fill(vpn);
                     model.insert(vpn);
-                    prop_assert!(tlb.translates(vpn), "fill must take effect");
+                    assert!(tlb.translates(vpn), "fill must take effect");
                 }
                 _ => {
                     tlb.invalidate(vpn);
                     model.remove(&vpn);
-                    prop_assert!(!tlb.translates(vpn), "invalidate must take effect");
+                    assert!(!tlb.translates(vpn), "invalidate must take effect");
                 }
             }
-            prop_assert!(tlb.len() <= capacity);
+            assert!(tlb.len() <= capacity);
             // Everything resident must be in the model (the reverse may
             // not hold because of capacity evictions).
             for v in 0..128u64 {
                 if tlb.translates(v) {
-                    prop_assert!(model.contains(&v), "ghost entry {}", v);
+                    assert!(model.contains(&v), "ghost entry {v}");
                 }
             }
         }
     }
+}
 
-    /// PTE flag operations are independent: toggling one bit never
-    /// affects the payload or the other bits.
-    #[test]
-    fn pte_bits_are_independent(payload in 0u64..(1 << 50), a in any::<bool>(), d in any::<bool>(), l in any::<bool>()) {
+/// PTE flag operations are independent: toggling one bit never affects
+/// the payload or the other bits.
+#[test]
+fn pte_bits_are_independent() {
+    let rng = SplitMix64::new(0x97E0_0FF5);
+    for _ in 0..256 {
+        let payload = rng.next_below(1 << 50);
+        let a = rng.next_below(2) == 1;
+        let d = rng.next_below(2) == 1;
+        let l = rng.next_below(2) == 1;
         let p = Pte::present(payload)
             .with_accessed(a)
             .with_dirty(d)
             .with_locked(l);
-        prop_assert_eq!(p.payload(), payload & ((1 << 52) - 1));
-        prop_assert_eq!(p.accessed(), a);
-        prop_assert_eq!(p.dirty(), d);
-        prop_assert_eq!(p.locked(), l);
-        prop_assert!(p.is_present());
-        prop_assert!(!p.is_remote());
+        assert_eq!(p.payload(), payload & ((1 << 52) - 1));
+        assert_eq!(p.accessed(), a);
+        assert_eq!(p.dirty(), d);
+        assert_eq!(p.locked(), l);
+        assert!(p.is_present());
+        assert!(!p.is_remote());
     }
 }

@@ -7,7 +7,7 @@
 //! per-CPU caches, MAGE's multi-layer hierarchy) is layered on top in
 //! [`crate::local`].
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Maximum block order (2^10 frames = 4 MiB blocks at 4 KiB pages).
 pub const MAX_ORDER: u32 = 10;
@@ -28,9 +28,9 @@ pub const MAX_ORDER: u32 = 10;
 pub struct BuddyAllocator {
     nframes: u64,
     /// Free blocks per order.
-    free_lists: Vec<HashSet<u64>>,
+    free_lists: Vec<BTreeSet<u64>>,
     /// Outstanding allocations, for exact double-free detection.
-    outstanding: HashSet<(u64, u32)>,
+    outstanding: BTreeSet<(u64, u32)>,
     free_frames: u64,
 }
 
@@ -39,8 +39,8 @@ impl BuddyAllocator {
     pub fn new(nframes: u64) -> Self {
         let mut b = BuddyAllocator {
             nframes,
-            free_lists: (0..=MAX_ORDER).map(|_| HashSet::new()).collect(),
-            outstanding: HashSet::new(),
+            free_lists: (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect(),
+            outstanding: BTreeSet::new(),
             free_frames: 0,
         };
         // Seed with maximal aligned blocks covering [0, nframes).
@@ -78,8 +78,7 @@ impl BuddyAllocator {
         let found = (order..=MAX_ORDER).find(|&o| !self.free_lists[o as usize].is_empty())?;
         // Deterministic choice: smallest base in that order.
         let base = *self.free_lists[found as usize]
-            .iter()
-            .min()
+            .first()
             .expect("non-empty list");
         self.free_lists[found as usize].remove(&base);
         // Split down to the requested order, returning upper halves.
@@ -147,7 +146,7 @@ impl BuddyAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mage_sim::rng::SplitMix64;
 
     #[test]
     fn full_pool_after_construction() {
@@ -166,7 +165,7 @@ mod tests {
         }
         assert_eq!(got.len(), 256);
         // All frames distinct and in range.
-        let set: HashSet<u64> = got.iter().copied().collect();
+        let set: BTreeSet<u64> = got.iter().copied().collect();
         assert_eq!(set.len(), 256);
         assert!(got.iter().all(|&f| f < 256));
         b.free_batch(&got);
@@ -220,26 +219,29 @@ mod tests {
         assert_eq!(out.len(), 10);
     }
 
-    proptest! {
-        /// Any interleaving of allocs and frees preserves the invariants:
-        /// no frame handed out twice, free count consistent, and freeing
-        /// everything restores the full pool.
-        #[test]
-        fn prop_alloc_free_invariants(ops in proptest::collection::vec(0u8..4, 1..200)) {
+    /// Any interleaving of allocs and frees preserves the invariants:
+    /// no frame handed out twice, free count consistent, and freeing
+    /// everything restores the full pool. 64 seeded random interleavings.
+    #[test]
+    fn random_alloc_free_invariants() {
+        for seed in 0..64u64 {
+            let rng = SplitMix64::new(0xB0DD_1E50 ^ seed);
             let n = 128u64;
             let mut b = BuddyAllocator::new(n);
             let mut held: Vec<(u64, u32)> = Vec::new();
-            let mut held_frames: HashSet<u64> = HashSet::new();
-            for op in ops {
-                match op {
-                    0 | 1 => {
+            let mut held_frames: BTreeSet<u64> = BTreeSet::new();
+            let nops = 1 + rng.next_below(199);
+            for _ in 0..nops {
+                match rng.next_below(4) {
+                    op @ (0 | 1) => {
                         // Alloc order 0 or 1.
                         let order = op as u32;
                         if let Some(base) = b.alloc(order) {
                             for i in 0..(1u64 << order) {
-                                prop_assert!(
+                                assert!(
                                     held_frames.insert(base + i),
-                                    "frame {} double-allocated", base + i
+                                    "frame {} double-allocated",
+                                    base + i
                                 );
                             }
                             held.push((base, order));
@@ -254,15 +256,16 @@ mod tests {
                         }
                     }
                 }
-                prop_assert_eq!(
-                    b.free_frames() + held_frames.len() as u64, n,
-                    "conservation violated"
+                assert_eq!(
+                    b.free_frames() + held_frames.len() as u64,
+                    n,
+                    "conservation violated (seed {seed})"
                 );
             }
             for (base, order) in held.drain(..) {
                 b.free(base, order);
             }
-            prop_assert_eq!(b.free_frames(), n);
+            assert_eq!(b.free_frames(), n);
         }
     }
 }

@@ -97,9 +97,9 @@ impl LocalAllocator {
         let buddy = BuddyAllocator::new(nframes);
         LocalAllocator {
             kind,
-            buddy: SimMutex::new(sim.clone(), buddy),
+            buddy: SimMutex::new_named(sim.clone(), "palloc.buddy", buddy),
             per_core: (0..cores).map(|_| RefCell::new(Vec::new())).collect(),
-            shared_queue: SimMutex::new(sim.clone(), VecDeque::new()),
+            shared_queue: SimMutex::new_named(sim.clone(), "palloc.shared-queue", VecDeque::new()),
             free_count: Cell::new(nframes),
             stats: LocalAllocStats::default(),
             costs,
@@ -299,7 +299,7 @@ mod tests {
             assert!(a2.alloc(0).await.is_none(), "pool exhausted");
             v
         });
-        let set: std::collections::HashSet<_> = frames.iter().collect();
+        let set: std::collections::BTreeSet<_> = frames.iter().collect();
         assert_eq!(set.len(), 64);
         assert_eq!(a.free_frames(), 0);
         assert_eq!(a.stats().failures.get(), 1);

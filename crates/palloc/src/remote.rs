@@ -35,8 +35,9 @@ impl SwapBitmap {
     /// critical-section cost.
     pub fn new(sim: SimHandle, capacity: u64, op_ns: Nanos) -> Self {
         SwapBitmap {
-            inner: SimMutex::new(
+            inner: SimMutex::new_named(
                 sim.clone(),
+                "palloc.swap-bitmap",
                 SwapInner {
                     free: Vec::new(),
                     next: 0,
@@ -103,8 +104,9 @@ pub enum RemoteAllocator {
     /// VMA-level direct mapping: no allocation, no synchronization
     /// (DiLOS, MAGE). The slot is `vma.remote_page(vpn)`.
     DirectMap,
-    /// Global-lock swap bitmap (Hermit / Linux swap subsystem).
-    Swap(SwapBitmap),
+    /// Global-lock swap bitmap (Hermit / Linux swap subsystem). Boxed:
+    /// the bitmap dwarfs the data-free `DirectMap` variant.
+    Swap(Box<SwapBitmap>),
 }
 
 impl RemoteAllocator {
@@ -149,7 +151,7 @@ mod tests {
             for _ in 0..8 {
                 slots.push(s.alloc().await.expect("capacity"));
             }
-            let uniq: std::collections::HashSet<_> = slots.iter().collect();
+            let uniq: std::collections::BTreeSet<_> = slots.iter().collect();
             assert_eq!(uniq.len(), 8);
             assert!(s.alloc().await.is_none(), "exhausted");
             s.free(slots[3]).await;
@@ -189,7 +191,7 @@ mod tests {
     #[test]
     fn swap_allocator_uses_allocated_slot_not_direct() {
         let sim = Simulation::new();
-        let ra = Rc::new(RemoteAllocator::Swap(SwapBitmap::new(sim.handle(), 16, 50)));
+        let ra = Rc::new(RemoteAllocator::Swap(Box::new(SwapBitmap::new(sim.handle(), 16, 50))));
         let r = Rc::clone(&ra);
         sim.block_on(async move {
             let slot = r.alloc_for(999).await.expect("capacity");

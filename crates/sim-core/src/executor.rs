@@ -13,9 +13,15 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+// The Waker contract requires Send + Sync, so the cross-thread wake queue
+// must use a host mutex; it is drained only by the single executor thread
+// and never blocks on virtual time.
+// simlint: allow(std-sync): Waker contract requires a Send+Sync queue
+use std::sync::Mutex;
 use std::task::{Context, Poll, Wake, Waker};
 
+use crate::lockdep::{LockDep, TaskKey, MAIN_TASK};
 use crate::time::{Nanos, SimTime};
 
 type TaskId = usize;
@@ -77,10 +83,13 @@ struct ExecCore {
     wake_queue: Arc<WakeQueue>,
     /// Min-heap of pending timers; the waker map is keyed by sequence.
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    timer_wakers: RefCell<std::collections::HashMap<u64, Waker>>,
+    timer_wakers: RefCell<std::collections::BTreeMap<u64, Waker>>,
     timer_seq: Cell<u64>,
     live_tasks: Cell<usize>,
     drain_buf: RefCell<Vec<TaskId>>,
+    /// Task currently being polled, for lockdep hold tracking.
+    current: Cell<Option<TaskId>>,
+    lockdep: LockDep,
 }
 
 impl ExecCore {
@@ -92,10 +101,12 @@ impl ExecCore {
             ready: RefCell::new(VecDeque::new()),
             wake_queue: Arc::new(WakeQueue::default()),
             timers: RefCell::new(BinaryHeap::new()),
-            timer_wakers: RefCell::new(std::collections::HashMap::new()),
+            timer_wakers: RefCell::new(std::collections::BTreeMap::new()),
             timer_seq: Cell::new(0),
             live_tasks: Cell::new(0),
             drain_buf: RefCell::new(Vec::new()),
+            current: Cell::new(None),
+            lockdep: LockDep::default(),
         })
     }
 
@@ -156,6 +167,9 @@ impl ExecCore {
             None => return false,
         };
         debug_assert!(next >= self.now.get(), "timer in the past");
+        if next > self.now.get() {
+            self.lockdep.check_time_advance(self.now.get(), next);
+        }
         self.now.set(self.now.get().max(next));
         loop {
             let fire = {
@@ -197,7 +211,10 @@ impl ExecCore {
             id,
         }));
         let mut cx = Context::from_waker(&waker);
-        match future.as_mut().poll(&mut cx) {
+        self.current.set(Some(id));
+        let polled = future.as_mut().poll(&mut cx);
+        self.current.set(None);
+        match polled {
             Poll::Ready(()) => {
                 self.tasks.borrow_mut()[id] = None;
                 self.free_ids.borrow_mut().push(id);
@@ -307,6 +324,19 @@ impl SimHandle {
     /// Number of tasks that have been spawned and not yet completed.
     pub fn live_tasks(&self) -> usize {
         self.core.live_tasks.get()
+    }
+
+    /// The simulation's lock-order registry (see [`crate::lockdep`]).
+    pub fn lockdep(&self) -> &LockDep {
+        &self.core.lockdep
+    }
+
+    /// Key identifying the task currently being polled, for lockdep.
+    pub(crate) fn current_task_key(&self) -> TaskKey {
+        match self.core.current.get() {
+            Some(id) => id as TaskKey,
+            None => MAIN_TASK,
+        }
     }
 }
 

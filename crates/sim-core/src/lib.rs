@@ -34,6 +34,7 @@
 //! ```
 
 pub mod executor;
+pub mod lockdep;
 pub mod rng;
 pub mod stats;
 pub mod sync;

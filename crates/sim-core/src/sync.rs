@@ -8,8 +8,9 @@
 //! *emerge* from the simulated mechanism rather than being assumed.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::future::Future;
+use std::panic::Location;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
@@ -69,8 +70,8 @@ impl LockStats {
 struct MutexCtl {
     next_ticket: Cell<u64>,
     now_serving: Cell<u64>,
-    wakers: RefCell<HashMap<u64, Waker>>,
-    abandoned: RefCell<HashSet<u64>>,
+    wakers: RefCell<BTreeMap<u64, Waker>>,
+    abandoned: RefCell<BTreeSet<u64>>,
 }
 
 impl MutexCtl {
@@ -126,26 +127,53 @@ pub struct SimMutex<T> {
     value: RefCell<T>,
     stats: LockStats,
     hold_since: Cell<SimTime>,
+    /// Lockdep class (see [`crate::lockdep`]).
+    class: u32,
 }
 
 impl<T> SimMutex<T> {
     /// Creates an unlocked mutex protecting `value`.
+    ///
+    /// The lockdep class defaults to the protected type's name; locks
+    /// whose role matters for ordering should use [`SimMutex::new_named`]
+    /// so inversions are reported against meaningful class names.
     pub fn new(sim: SimHandle, value: T) -> Self {
+        let name = format!("SimMutex<{}>", std::any::type_name::<T>());
+        Self::new_named(sim, &name, value)
+    }
+
+    /// Creates an unlocked mutex in the lockdep class `name`.
+    ///
+    /// All locks sharing a class are one node in the acquisition-order
+    /// graph (like a `lock_class_key` in Linux lockdep): shard arrays
+    /// should share a class, unrelated locks should not.
+    pub fn new_named(sim: SimHandle, name: &str, value: T) -> Self {
+        let class = sim.lockdep().register_class(name);
         SimMutex {
             sim,
             ctl: MutexCtl {
                 next_ticket: Cell::new(0),
                 now_serving: Cell::new(0),
-                wakers: RefCell::new(HashMap::new()),
-                abandoned: RefCell::new(HashSet::new()),
+                wakers: RefCell::new(BTreeMap::new()),
+                abandoned: RefCell::new(BTreeSet::new()),
             },
             value: RefCell::new(value),
             stats: LockStats::default(),
             hold_since: Cell::new(SimTime::ZERO),
+            class,
         }
     }
 
+    /// Forbids holding this lock's class across a virtual-time advance:
+    /// the executor panics (with the held chain) if the clock must move
+    /// while any guard of this class is live. See [`crate::lockdep`] for
+    /// why this is opt-in.
+    pub fn forbid_hold_across_sleep(&self) {
+        self.sim.lockdep().forbid_hold_across_sleep(self.class);
+    }
+
     /// Acquires the mutex; resolves to a guard releasing it on drop.
+    #[track_caller]
     pub fn lock(&self) -> MutexLock<'_, T> {
         let ticket = self.ctl.next_ticket.get();
         self.ctl.next_ticket.set(ticket + 1);
@@ -154,6 +182,8 @@ impl<T> SimMutex<T> {
             ticket,
             started: self.sim.now(),
             acquired: false,
+            validated: false,
+            site: Location::caller(),
         }
     }
 
@@ -196,6 +226,8 @@ pub struct MutexLock<'a, T> {
     ticket: u64,
     started: SimTime,
     acquired: bool,
+    validated: bool,
+    site: &'static Location<'static>,
 }
 
 impl<'a, T> Future for MutexLock<'a, T> {
@@ -203,17 +235,28 @@ impl<'a, T> Future for MutexLock<'a, T> {
 
     fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let m = self.mutex;
+        if !self.validated {
+            // Validate the ordering at the *attempt* (before blocking),
+            // so inversions are reported even when they deadlock.
+            self.validated = true;
+            m.sim
+                .lockdep()
+                .check_acquire(m.sim.current_task_key(), m.class, self.site);
+        }
         if m.ctl.now_serving.get() == self.ticket {
             self.acquired = true;
             let waited = m.sim.now().saturating_since(self.started);
             m.stats.record_acquire(waited, m.queue_len());
             m.hold_since.set(m.sim.now());
+            let task = m.sim.current_task_key();
+            m.sim.lockdep().acquired(task, m.class, self.site);
             // The ticket protocol guarantees exclusivity, so this borrow
             // cannot conflict with another live guard.
             let inner = m.value.borrow_mut();
             Poll::Ready(MutexGuard {
                 mutex: m,
                 inner: Some(inner),
+                task,
             })
         } else {
             m.ctl
@@ -246,6 +289,7 @@ impl<T> Drop for MutexLock<'_, T> {
 pub struct MutexGuard<'a, T> {
     mutex: &'a SimMutex<T>,
     inner: Option<std::cell::RefMut<'a, T>>,
+    task: crate::lockdep::TaskKey,
 }
 
 impl<T> std::ops::Deref for MutexGuard<'_, T> {
@@ -266,6 +310,7 @@ impl<T> Drop for MutexGuard<'_, T> {
         // Release the borrow before waking the next ticket holder.
         self.inner = None;
         let m = self.mutex;
+        m.sim.lockdep().release(self.task, m.class);
         let held = m.sim.now().saturating_since(m.hold_since.get());
         m.stats.hold.borrow_mut().record(held);
         m.ctl.serve_next();

@@ -7,6 +7,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::panic::Location;
 use std::rc::Rc;
 
 use crate::sync::{LockStats, WaitQueue};
@@ -33,11 +34,21 @@ pub struct SimRwLock {
     readers_queue: WaitQueue,
     writers_queue: WaitQueue,
     stats: LockStats,
+    /// Lockdep class (see [`crate::lockdep`]); shared by both sides.
+    class: u32,
 }
 
 impl SimRwLock {
-    /// Creates an unlocked lock.
+    /// Creates an unlocked lock in the default `SimRwLock` lockdep
+    /// class; prefer [`SimRwLock::new_named`] for locks whose ordering
+    /// matters.
     pub fn new(sim: SimHandle) -> Self {
+        Self::new_named(sim, "SimRwLock")
+    }
+
+    /// Creates an unlocked lock in the lockdep class `name`.
+    pub fn new_named(sim: SimHandle, name: &str) -> Self {
+        let class = sim.lockdep().register_class(name);
         SimRwLock {
             sim,
             state: Cell::new(RwState::Free),
@@ -45,7 +56,14 @@ impl SimRwLock {
             readers_queue: WaitQueue::new(),
             writers_queue: WaitQueue::new(),
             stats: LockStats::default(),
+            class,
         }
+    }
+
+    /// Forbids holding this lock's class across a virtual-time advance
+    /// (see [`crate::sync::SimMutex::forbid_hold_across_sleep`]).
+    pub fn forbid_hold_across_sleep(&self) {
+        self.sim.lockdep().forbid_hold_across_sleep(self.class);
     }
 
     /// Contention statistics.
@@ -62,8 +80,16 @@ impl SimRwLock {
     }
 
     /// Acquires the lock shared. Blocks while a writer holds it or waits.
-    pub async fn read(&self) -> RwReadGuard<'_> {
+    #[track_caller]
+    pub fn read(&self) -> impl std::future::Future<Output = RwReadGuard<'_>> + '_ {
+        self.read_at(Location::caller())
+    }
+
+    async fn read_at(&self, site: &'static Location<'static>) -> RwReadGuard<'_> {
         let started = self.sim.now();
+        self.sim
+            .lockdep()
+            .check_acquire(self.sim.current_task_key(), self.class, site);
         loop {
             let can = match self.state.get() {
                 RwState::Writer => false,
@@ -76,22 +102,34 @@ impl SimRwLock {
                 };
                 self.state.set(RwState::Readers(n + 1));
                 self.record(started);
-                return RwReadGuard { lock: self };
+                let task = self.sim.current_task_key();
+                self.sim.lockdep().acquired(task, self.class, site);
+                return RwReadGuard { lock: self, task };
             }
             self.readers_queue.wait().await;
         }
     }
 
     /// Acquires the lock exclusive.
-    pub async fn write(&self) -> RwWriteGuard<'_> {
+    #[track_caller]
+    pub fn write(&self) -> impl std::future::Future<Output = RwWriteGuard<'_>> + '_ {
+        self.write_at(Location::caller())
+    }
+
+    async fn write_at(&self, site: &'static Location<'static>) -> RwWriteGuard<'_> {
         let started = self.sim.now();
+        self.sim
+            .lockdep()
+            .check_acquire(self.sim.current_task_key(), self.class, site);
         self.waiting_writers.set(self.waiting_writers.get() + 1);
         loop {
             if self.state.get() == RwState::Free {
                 self.state.set(RwState::Writer);
                 self.waiting_writers.set(self.waiting_writers.get() - 1);
                 self.record(started);
-                return RwWriteGuard { lock: self };
+                let task = self.sim.current_task_key();
+                self.sim.lockdep().acquired(task, self.class, site);
+                return RwWriteGuard { lock: self, task };
             }
             self.writers_queue.wait().await;
         }
@@ -123,10 +161,12 @@ impl SimRwLock {
 /// Shared guard for [`SimRwLock`].
 pub struct RwReadGuard<'a> {
     lock: &'a SimRwLock,
+    task: crate::lockdep::TaskKey,
 }
 
 impl Drop for RwReadGuard<'_> {
     fn drop(&mut self) {
+        self.lock.sim.lockdep().release(self.task, self.lock.class);
         self.lock.release_read();
     }
 }
@@ -134,10 +174,12 @@ impl Drop for RwReadGuard<'_> {
 /// Exclusive guard for [`SimRwLock`].
 pub struct RwWriteGuard<'a> {
     lock: &'a SimRwLock,
+    task: crate::lockdep::TaskKey,
 }
 
 impl Drop for RwWriteGuard<'_> {
     fn drop(&mut self) {
+        self.lock.sim.lockdep().release(self.task, self.lock.class);
         self.lock.release_write();
     }
 }

@@ -1,20 +1,24 @@
-//! Property tests for the simulation kernel: determinism, time ordering,
-//! histogram accuracy, and lock fairness under arbitrary schedules.
+//! Randomized tests for the simulation kernel: determinism, time
+//! ordering, histogram accuracy, and lock fairness under seeded random
+//! schedules.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use mage_sim::rng::SplitMix64;
 use mage_sim::stats::Histogram;
 use mage_sim::sync::SimMutex;
 use mage_sim::Simulation;
-use proptest::prelude::*;
 
-proptest! {
-    /// Any set of sleeping tasks completes in deadline order, ties broken
-    /// by spawn order, and the simulation ends exactly at the latest
-    /// deadline.
-    #[test]
-    fn sleeps_complete_in_time_order(delays in proptest::collection::vec(0u64..10_000, 1..50)) {
+/// Any set of sleeping tasks completes in deadline order, ties broken by
+/// spawn order, and the simulation ends exactly at the latest deadline.
+#[test]
+fn sleeps_complete_in_time_order() {
+    let rng = SplitMix64::new(0x51EE_9001);
+    for _ in 0..32 {
+        let delays: Vec<u64> = (0..1 + rng.next_below(49))
+            .map(|_| rng.next_below(10_000))
+            .collect();
         let sim = Simulation::new();
         let h = sim.handle();
         let log: Rc<RefCell<Vec<(u64, usize)>>> = Rc::new(RefCell::new(Vec::new()));
@@ -27,27 +31,31 @@ proptest! {
             });
         }
         let end = sim.run();
-        prop_assert_eq!(end.as_nanos(), delays.iter().copied().max().unwrap_or(0));
+        assert_eq!(end.as_nanos(), delays.iter().copied().max().unwrap_or(0));
         let log = log.borrow();
         // Completion times weakly increase; ties resolved by spawn index.
         for w in log.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0);
             if w[0].0 == w[1].0 {
-                let d0 = delays[w[0].1];
-                let d1 = delays[w[1].1];
-                prop_assert_eq!(d0, d1);
-                prop_assert!(w[0].1 < w[1].1, "tie must respect spawn order");
+                assert_eq!(delays[w[0].1], delays[w[1].1]);
+                assert!(w[0].1 < w[1].1, "tie must respect spawn order");
             }
         }
         // Each task completed exactly at its deadline.
         for &(t, i) in log.iter() {
-            prop_assert_eq!(t, delays[i]);
+            assert_eq!(t, delays[i]);
         }
     }
+}
 
-    /// Two identical simulations produce identical event traces.
-    #[test]
-    fn executor_is_deterministic(delays in proptest::collection::vec(0u64..5_000, 1..40)) {
+/// Two identical simulations produce identical event traces.
+#[test]
+fn executor_is_deterministic() {
+    let rng = SplitMix64::new(0xDE7E_3313);
+    for _ in 0..32 {
+        let delays: Vec<u64> = (0..1 + rng.next_below(39))
+            .map(|_| rng.next_below(5_000))
+            .collect();
         let trace = |delays: &[u64]| {
             let sim = Simulation::new();
             let h = sim.handle();
@@ -66,15 +74,19 @@ proptest! {
             let result = log.borrow().clone();
             result
         };
-        prop_assert_eq!(trace(&delays), trace(&delays));
+        assert_eq!(trace(&delays), trace(&delays));
     }
+}
 
-    /// The mutex admits contenders in exact lock() call order no matter
-    /// how their arrival times and hold times interleave.
-    #[test]
-    fn mutex_is_strictly_fifo(
-        arrivals in proptest::collection::vec((0u64..1_000, 1u64..500), 2..30)
-    ) {
+/// The mutex admits contenders in exact lock() call order no matter how
+/// their arrival times and hold times interleave.
+#[test]
+fn mutex_is_strictly_fifo() {
+    let rng = SplitMix64::new(0xF1F0_4242);
+    for _ in 0..32 {
+        let arrivals: Vec<(u64, u64)> = (0..2 + rng.next_below(28))
+            .map(|_| (rng.next_below(1_000), 1 + rng.next_below(499)))
+            .collect();
         let sim = Simulation::new();
         let h = sim.handle();
         let m = Rc::new(SimMutex::new(h.clone(), ()));
@@ -93,16 +105,20 @@ proptest! {
             });
         }
         sim.run();
-        prop_assert_eq!(&*order.borrow(), &*requested.borrow());
+        assert_eq!(&*order.borrow(), &*requested.borrow());
     }
+}
 
-    /// Histogram quantiles stay within the documented ~3% relative error
-    /// of the exact empirical quantile.
-    #[test]
-    fn histogram_quantile_error_bounded(
-        mut values in proptest::collection::vec(1u64..10_000_000, 10..500),
-        q in 0.01f64..1.0,
-    ) {
+/// Histogram quantiles stay within the documented ~3% relative error of
+/// the exact empirical quantile.
+#[test]
+fn histogram_quantile_error_bounded() {
+    let rng = SplitMix64::new(0x4157_0611);
+    for _ in 0..64 {
+        let mut values: Vec<u64> = (0..10 + rng.next_below(490))
+            .map(|_| 1 + rng.next_below(9_999_999))
+            .collect();
+        let q = (rng.next_f64() * 0.99 + 0.01).min(1.0);
         let h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -111,9 +127,9 @@ proptest! {
         let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
         let exact = values[rank - 1] as f64;
         let approx = h.quantile(q) as f64;
-        prop_assert!(
+        assert!(
             approx >= exact * 0.96 && approx <= exact * 1.04 + 1.0,
-            "quantile({}) = {} vs exact {}", q, approx, exact
+            "quantile({q}) = {approx} vs exact {exact}"
         );
     }
 }

@@ -1,0 +1,32 @@
+//! Clean fixture: idiomatic simulator code that must produce zero
+//! simlint violations, including a justified allow.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc; // Arc is sharing, not blocking: allowed.
+
+// simlint: allow(std-sync): fixture demonstrating a justified exception
+use std::sync::Mutex;
+
+struct SeededRng {
+    state: u64,
+}
+
+impl SeededRng {
+    pub fn new(seed: u64) -> Self {
+        SeededRng { state: seed }
+    }
+
+    pub fn from_seed_bytes(seed_bytes: [u8; 8]) -> Self {
+        SeededRng {
+            state: u64::from_le_bytes(seed_bytes),
+        }
+    }
+}
+
+fn ordered() -> BTreeMap<u64, &'static str> {
+    // Strings and comments mentioning HashMap or std::thread are fine.
+    let mut m = BTreeMap::new();
+    m.insert(1, "not a HashMap");
+    m
+}

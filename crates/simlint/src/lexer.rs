@@ -1,0 +1,316 @@
+//! A lightweight Rust lexer: just enough to token-scan source for the
+//! lint rules without external dependencies.
+//!
+//! The lexer understands line/block comments (nested), string/char/byte
+//! literals, raw strings, lifetimes, numbers and identifiers. Everything
+//! that is not an identifier is either skipped or emitted as a
+//! single-character symbol (with `::` merged into one token, the only
+//! multi-character symbol the rules care about).
+
+use crate::AllowDirective;
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token text (`identifier`, `::`, or a single punctuation char).
+    pub text: String,
+    /// Whether this is an identifier (vs punctuation).
+    pub is_ident: bool,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Result of lexing a file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Token stream (comments, literals and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// `simlint: allow(...)` directives found in line comments.
+    pub allows: Vec<AllowDirective>,
+}
+
+/// Lexes `src` into tokens and allow directives.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_lines {
+        ($s:expr) => {
+            line += $s.bytes().filter(|&b| b == b'\n').count() as u32
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map_or(bytes.len(), |p| i + p);
+                parse_allow(&src[i..end], line, &mut out.allows);
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if bytes[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let consumed = skip_string(&src[i..]);
+                bump_lines!(&src[i..i + consumed]);
+                i += consumed;
+            }
+            '\'' => {
+                i += skip_char_or_lifetime(&src[i..]);
+            }
+            ':' if bytes.get(i + 1) == Some(&b':') => {
+                out.tokens.push(Token {
+                    text: "::".into(),
+                    is_ident: false,
+                    line,
+                });
+                i += 2;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let ident = &src[start..i];
+                // Raw / byte string prefixes: r"", r#""#, b"", br"", c"".
+                if matches!(ident, "r" | "b" | "br" | "rb" | "c" | "cr")
+                    && matches!(bytes.get(i), Some(b'"') | Some(b'#'))
+                {
+                    let consumed = skip_raw_string(&src[i..]);
+                    if consumed > 0 {
+                        bump_lines!(&src[i..i + consumed]);
+                        i += consumed;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    text: ident.to_string(),
+                    is_ident: true,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers (with suffixes/underscores); no tokens emitted.
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' || b == '.' {
+                        // Avoid swallowing a range `0..n`.
+                        if b == '.' && bytes.get(i + 1) == Some(&b'.') {
+                            break;
+                        }
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            c => {
+                out.tokens.push(Token {
+                    text: c.to_string(),
+                    is_ident: false,
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a `"..."` string starting at a quote; returns bytes consumed.
+fn skip_string(s: &str) -> usize {
+    let bytes = s.as_bytes();
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Consumes `#*"..."#*` (already past the r/b prefix). Returns 0 if this
+/// is not actually a raw string start.
+fn skip_raw_string(s: &str) -> usize {
+    let bytes = s.as_bytes();
+    let mut hashes = 0usize;
+    while hashes < bytes.len() && bytes[hashes] == b'#' {
+        hashes += 1;
+    }
+    if bytes.get(hashes) != Some(&b'"') {
+        return 0;
+    }
+    let mut i = hashes + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' && bytes[i + 1..].len() >= hashes
+            && bytes[i + 1..i + 1 + hashes].iter().all(|&b| b == b'#')
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Consumes a char literal or lifetime starting at `'`.
+fn skip_char_or_lifetime(s: &str) -> usize {
+    let bytes = s.as_bytes();
+    match bytes.get(1) {
+        Some(b'\\') => {
+            // Escaped char literal: find the closing quote.
+            let mut i = 2;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                } else if bytes[i] == b'\'' {
+                    return i + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            bytes.len()
+        }
+        Some(&b) if (b as char).is_alphanumeric() || b == b'_' => {
+            // `'a'` is a char; `'a` (no closing quote after the ident run)
+            // is a lifetime.
+            let mut i = 2;
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'\'') {
+                i + 1
+            } else {
+                i // lifetime: leave the following token to the main loop
+            }
+        }
+        // Some other char literal like '(' or ' '.
+        Some(_) if bytes.get(2) == Some(&b'\'') => 3,
+        Some(_) | None => 1,
+    }
+}
+
+/// Parses `simlint: allow(rule)[: justification]` out of a line comment.
+fn parse_allow(comment: &str, line: u32, out: &mut Vec<AllowDirective>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("simlint:") {
+        rest = &rest[pos + "simlint:".len()..];
+        let trimmed = rest.trim_start();
+        let Some(after_allow) = trimmed.strip_prefix("allow(") else {
+            continue;
+        };
+        let Some(close) = after_allow.find(')') else {
+            continue;
+        };
+        let rule = after_allow[..close].trim().to_string();
+        let tail = after_allow[close + 1..].trim_start();
+        let justified = tail
+            .strip_prefix(':')
+            .is_some_and(|j| !j.trim().is_empty());
+        out.push(AllowDirective {
+            line,
+            rule,
+            justified,
+        });
+        rest = &after_allow[close + 1..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.is_ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_are_skipped() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* nested */ block */
+            fn f<'a>(x: &'a str) -> char {
+                let _s = "std::thread in a string";
+                let _r = r#"SystemTime "raw" too"#;
+                'x'
+            }
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"fn".to_string()));
+        assert!(!ids.iter().any(|i| i == "HashMap"));
+        assert!(!ids.iter().any(|i| i == "Instant"));
+        assert!(!ids.iter().any(|i| i == "SystemTime"));
+        assert!(!ids.iter().any(|i| i == "thread"));
+        // The lifetime 'a must not eat the following token.
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let lexed = lex("std::time::Instant");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["std", "::", "time", "::", "Instant"]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_literals() {
+        let src = "let a = \"x\ny\";\nlet b = Foo;";
+        let lexed = lex(src);
+        let foo = lexed.tokens.iter().find(|t| t.text == "Foo").unwrap();
+        assert_eq!(foo.line, 3);
+    }
+
+    #[test]
+    fn allow_directives_parse() {
+        let src = "\n// simlint: allow(hash-collection): scratch set, order irrelevant\n// simlint: allow(std-sync)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.allows.len(), 2);
+        assert_eq!(lexed.allows[0].rule, "hash-collection");
+        assert!(lexed.allows[0].justified);
+        assert_eq!(lexed.allows[0].line, 2);
+        assert_eq!(lexed.allows[1].rule, "std-sync");
+        assert!(!lexed.allows[1].justified);
+    }
+
+    #[test]
+    fn char_literals_do_not_derail() {
+        let ids = idents("let c = ':'; let d = '\\n'; let e = Map;");
+        assert!(ids.contains(&"Map".to_string()));
+    }
+}

@@ -1,0 +1,52 @@
+//! CLI for simlint: `cargo run -p simlint [paths...]`.
+//!
+//! With no arguments, lints every `crates/*/src` tree of the workspace
+//! this binary was built from. With arguments, lints exactly those files
+//! or directories (used by the fixture tests). Exits non-zero iff any
+//! violation is found.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("simlint lives at <workspace>/crates/simlint")
+            .to_path_buf();
+        match simlint::default_scan_roots(&workspace_root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("simlint: cannot enumerate {}: {e}", workspace_root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut violations = Vec::new();
+    for root in &roots {
+        match simlint::lint_tree(root) {
+            Ok(v) => violations.extend(v),
+            Err(e) => {
+                eprintln!("simlint: cannot read {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("simlint: clean ({} tree(s) scanned)", roots.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("simlint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,58 @@
+//! Fixture tests: the seeded violation file trips every rule; the clean
+//! fixture (with a justified allow) trips none.
+
+use std::path::{Path, PathBuf};
+
+use simlint::{lint_file, lint_tree, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn violation_fixture_trips_every_rule() {
+    let violations = lint_file(&fixture("violations.rs")).expect("fixture readable");
+    for &rule in Rule::all() {
+        assert!(
+            violations.iter().any(|v| v.rule == rule),
+            "rule {} not tripped; got: {violations:#?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn violation_lines_are_exact() {
+    let violations = lint_file(&fixture("violations.rs")).expect("fixture readable");
+    let at = |rule: Rule| {
+        violations
+            .iter()
+            .find(|v| v.rule == rule)
+            .map(|v| v.line)
+            .unwrap_or(0)
+    };
+    assert_eq!(at(Rule::HashCollection), 8);
+    assert_eq!(at(Rule::StdSync), 9);
+    assert_eq!(at(Rule::HostThread), 10);
+    assert_eq!(at(Rule::WallClock), 11);
+    assert_eq!(at(Rule::ExternalRng), 14);
+    assert_eq!(at(Rule::UnseededRng), 24);
+    assert_eq!(at(Rule::BareAllow), 30);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let violations = lint_file(&fixture("clean.rs")).expect("fixture readable");
+    assert!(violations.is_empty(), "unexpected: {violations:#?}");
+}
+
+#[test]
+fn lint_tree_visits_fixtures_in_stable_order() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let a = lint_tree(&dir).expect("fixtures dir readable");
+    let b = lint_tree(&dir).expect("fixtures dir readable");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "reports must be stable");
+}

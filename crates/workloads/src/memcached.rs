@@ -13,12 +13,11 @@ use std::rc::Rc;
 
 use mage::{FarMemory, MachineParams, SystemConfig};
 use mage_mmu::{CoreId, Topology};
+use mage_sim::rng::SplitMix64;
 use mage_sim::stats::{Counter, Histogram};
 use mage_sim::sync::WaitQueue;
 use mage_sim::time::{Nanos, SimTime};
 use mage_sim::Simulation;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::patterns::Zipf;
 
@@ -175,14 +174,14 @@ pub fn run_memcached(cfg: &MemcachedConfig) -> MemcachedReport {
         let get_ratio = cfg.get_ratio;
         let seed = cfg.seed;
         sim.spawn(async move {
-            let mut rng = SmallRng::seed_from_u64(seed);
+            let rng = SplitMix64::new(seed);
             let mut next_worker = 0usize;
             while h.now().as_nanos() < duration {
-                let u: f64 = rng.gen();
+                let u = rng.next_f64();
                 let gap = (-(1.0 - u).ln() * mean_gap_ns).max(1.0) as u64;
                 h.sleep(gap).await;
-                let page = zipf.sample(&mut rng);
-                let write = rng.gen::<f64>() >= get_ratio;
+                let page = zipf.sample(&rng);
+                let write = rng.next_f64() >= get_ratio;
                 let q = &queues[next_worker];
                 next_worker = (next_worker + 1) % queues.len();
                 q.requests.borrow_mut().push_back((h.now(), page, write));

@@ -1,7 +1,6 @@
 //! Access-pattern generators for the paper's applications (Table 1).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use mage_sim::rng::SplitMix64;
 
 /// A Zipf(θ) sampler over `{0, …, n-1}` using the continuous
 /// inverse-CDF approximation (adequate for workload skew; the exact
@@ -31,8 +30,8 @@ impl Zipf {
     }
 
     /// Draws one sample; small indices are the hottest.
-    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &SplitMix64) -> u64 {
+        let u = rng.next_f64();
         let x = (u * self.norm + 1.0).powf(1.0 / self.one_minus_theta);
         (x as u64 - 1).min(self.n - 1)
     }
@@ -101,7 +100,7 @@ pub struct Stream {
     thread: u64,
     threads: u64,
     wss_pages: u64,
-    rng: SmallRng,
+    rng: SplitMix64,
     zipf_a: Zipf,
     zipf_b: Zipf,
     /// Hot component of the random-access workloads (power-law page
@@ -140,7 +139,7 @@ impl Stream {
             thread: thread as u64,
             threads: threads.max(1) as u64,
             wss_pages,
-            rng: SmallRng::seed_from_u64(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9)),
+            rng: SplitMix64::new(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9)),
             zipf_a: Zipf::new(region_a, 0.99),
             zipf_b: Zipf::new(region_b, 0.99),
             zipf_wss: Zipf::new(wss_pages, 0.99),
@@ -154,10 +153,10 @@ impl Stream {
     /// across the address space so that popularity is not spatially
     /// sequential.
     fn mixed_page(&mut self) -> u64 {
-        if self.rng.gen_ratio(self.uniform_permille, 1_000) {
-            self.rng.gen_range(0..self.wss_pages)
+        if self.rng.next_below(1_000) < self.uniform_permille as u64 {
+            self.rng.next_below(self.wss_pages)
         } else {
-            let rank = self.zipf_wss.sample(&mut self.rng);
+            let rank = self.zipf_wss.sample(&self.rng);
             mage_sim::rng::mix64(rank) % self.wss_pages
         }
     }
@@ -198,7 +197,7 @@ impl Stream {
         match self.kind {
             WorkloadKind::RandomGraph => Op {
                 page: self.mixed_page(),
-                write: self.rng.gen_ratio(1, 20),
+                write: self.rng.next_below(20) == 0,
                 compute_ns: compute,
             },
             WorkloadKind::XsBench => Op {
@@ -219,9 +218,9 @@ impl Stream {
             WorkloadKind::Gups => {
                 let region_a = (self.wss_pages * 4 / 5).max(1);
                 let page = if self.phase == 0 {
-                    self.zipf_a.sample(&mut self.rng)
+                    self.zipf_a.sample(&self.rng)
                 } else {
-                    region_a + self.zipf_b.sample(&mut self.rng)
+                    region_a + self.zipf_b.sample(&self.rng)
                 };
                 Op {
                     page: page.min(self.wss_pages - 1),
@@ -238,9 +237,9 @@ impl Stream {
                     // Map: sequential input reads; every 4th op scatters a
                     // write into the intermediate region.
                     self.seq_pos += 1;
-                    if self.seq_pos % 4 == 0 {
+                    if self.seq_pos.is_multiple_of(4) {
                         Op {
-                            page: input + self.rng.gen_range(0..inter),
+                            page: input + self.rng.next_below(inter),
                             write: true,
                             compute_ns: compute,
                         }
@@ -259,15 +258,15 @@ impl Stream {
                 } else {
                     // Reduce: random intermediate reads + output writes.
                     self.seq_pos += 1;
-                    if self.seq_pos % 8 == 0 {
+                    if self.seq_pos.is_multiple_of(8) {
                         Op {
-                            page: input + inter + self.rng.gen_range(0..output),
+                            page: input + inter + self.rng.next_below(output),
                             write: true,
                             compute_ns: compute,
                         }
                     } else {
                         Op {
-                            page: input + self.rng.gen_range(0..inter),
+                            page: input + self.rng.next_below(inter),
                             write: false,
                             compute_ns: compute,
                         }
@@ -285,11 +284,11 @@ mod tests {
     #[test]
     fn zipf_is_skewed_and_in_range() {
         let z = Zipf::new(10_000, 0.99);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let rng = SplitMix64::new(1);
         let mut head = 0u64;
         let n = 100_000;
         for _ in 0..n {
-            let v = z.sample(&mut rng);
+            let v = z.sample(&rng);
             assert!(v < 10_000);
             if v < 100 {
                 head += 1;
@@ -303,10 +302,10 @@ mod tests {
     #[test]
     fn zipf_deterministic_for_seed() {
         let z = Zipf::new(1000, 0.9);
-        let mut a = SmallRng::seed_from_u64(7);
-        let mut b = SmallRng::seed_from_u64(7);
+        let a = SplitMix64::new(7);
+        let b = SplitMix64::new(7);
         for _ in 0..100 {
-            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+            assert_eq!(z.sample(&a), z.sample(&b));
         }
     }
 

@@ -6,11 +6,10 @@ use std::rc::Rc;
 
 use mage::{Access, FarMemory, MachineParams, SystemConfig};
 use mage_mmu::{CoreId, Topology};
+use mage_sim::rng::SplitMix64;
 use mage_sim::stats::{Counter, Histogram};
 use mage_sim::time::{Nanos, SECS};
 use mage_sim::Simulation;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::patterns::{Stream, WorkloadKind};
 
@@ -421,12 +420,12 @@ pub fn run_open_loop_faults(
     let gen_issued = Rc::clone(&issued);
     let base = vma.start_vpn;
     sim.spawn(async move {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let rng = SplitMix64::new(seed);
         let mean_gap_ns = 1e3 / rate_mops; // ns between arrivals
         let mut next_page = 0u64;
         let mut core = 0u32;
         while h.now().as_nanos() < duration_ns {
-            let u: f64 = rng.gen();
+            let u = rng.next_f64();
             let gap = (-(1.0 - u).ln() * mean_gap_ns).max(1.0) as u64;
             h.sleep(gap).await;
             let page = base + first_remote + (next_page % remote_span);
@@ -492,10 +491,10 @@ pub fn run_raw_rdma(rate_mops: f64, duration_ns: Nanos, seed: u64) -> OpenLoopRe
     let gen_latency = Rc::clone(&latency);
     let gen_completed = Rc::clone(&completed);
     sim.spawn(async move {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let rng = SplitMix64::new(seed);
         let mean_gap_ns = 1e3 / rate_mops;
         while h.now().as_nanos() < duration_ns {
-            let u: f64 = rng.gen();
+            let u = rng.next_f64();
             let gap = (-(1.0 - u).ln() * mean_gap_ns).max(1.0) as u64;
             h.sleep(gap).await;
             let nic = Rc::clone(&gen_nic);

@@ -100,7 +100,7 @@ fn frame_conservation_under_stress() {
             for _ in 0..4_000 {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
                 let page = (x >> 33) % 16_384;
-                e.access(CoreId(t), vma.start_vpn + page, x % 7 == 0).await;
+                e.access(CoreId(t), vma.start_vpn + page, x.is_multiple_of(7)).await;
             }
         }));
     }

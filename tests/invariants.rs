@@ -1,14 +1,14 @@
-//! Property-based integration tests: random machine shapes and access
+//! Randomized integration tests: seeded random machine shapes and access
 //! mixes preserve the engine's safety and accounting invariants.
 
 use std::rc::Rc;
 
 use mage_far_memory::mmu::Topology;
 use mage_far_memory::prelude::*;
-use proptest::prelude::*;
+use mage_far_memory::sim::rng::SplitMix64;
 
 /// Drives a random access mix on a random machine and returns
-/// (major_faults, evicted, resident, free, local_pages).
+/// (major_faults, evicted, resident, free).
 fn stress(
     system: SystemConfig,
     threads: u32,
@@ -39,7 +39,7 @@ fn stress(
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
                 let page = (x >> 33) % wss_pages;
-                e.access(CoreId(t), vma.start_vpn + page, x % 5 == 0).await;
+                e.access(CoreId(t), vma.start_vpn + page, x.is_multiple_of(5)).await;
             }
         }));
     }
@@ -57,56 +57,69 @@ fn stress(
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// For every system and random shape: runs terminate (no deadlock),
-    /// frames are conserved, and residency never exceeds the quota.
-    #[test]
-    fn engine_invariants_hold(
-        sys_idx in 0usize..4,
-        threads in 1u32..9,
-        local_frac in 3u64..9,     // local = wss * frac / 10
-        wss_pages in 2_000u64..6_000,
-        ops in 500u32..1_500,
-        seed in 0u64..1_000_000,
-    ) {
-        let system = match sys_idx {
+/// For every system and random shape: runs terminate (no deadlock),
+/// frames are conserved, and residency never exceeds the quota.
+#[test]
+fn engine_invariants_hold() {
+    let rng = SplitMix64::new(0x1217_AB1E);
+    for case in 0..12u64 {
+        let system = match rng.next_below(4) {
             0 => SystemConfig::mage_lib(),
             1 => SystemConfig::mage_lnx(),
             2 => SystemConfig::dilos(),
             _ => SystemConfig::hermit(),
         };
+        let threads = (1 + rng.next_below(8)) as u32;
+        let local_frac = 3 + rng.next_below(6); // local = wss * frac / 10
+        let wss_pages = 2_000 + rng.next_below(4_000);
+        let ops = (500 + rng.next_below(1_000)) as u32;
+        let seed = rng.next_below(1_000_000);
         let local_pages = (wss_pages * local_frac / 10).max(600);
         let (faults, evicted, resident, free) =
             stress(system, threads, local_pages, wss_pages, ops, seed);
 
         // Terminated (this line being reached) and produced work.
-        prop_assert!(faults + evicted < u64::MAX);
+        assert!(faults + evicted < u64::MAX);
         // No over-commit: resident + free never exceeds the quota.
-        prop_assert!(
+        assert!(
             resident + free <= local_pages,
-            "resident {} + free {} > quota {}", resident, free, local_pages
+            "case {case}: resident {resident} + free {free} > quota {local_pages}",
         );
         // No massive leak: the unaccounted slack is bounded by the
         // eviction pipeline's in-flight capacity.
         let slack = local_pages - (resident + free);
-        prop_assert!(
+        assert!(
             slack <= 4 * 256 * 3 + 64,
-            "{} frames unaccounted", slack
+            "case {case}: {slack} frames unaccounted"
         );
     }
+}
 
-    /// Determinism: same shape, same seed → identical outcome for a
-    /// randomly chosen configuration.
-    #[test]
-    fn determinism_for_random_shapes(
-        threads in 1u32..6,
-        wss_pages in 2_000u64..4_000,
-        seed in 0u64..100_000,
-    ) {
-        let a = stress(SystemConfig::mage_lib(), threads, wss_pages / 2, wss_pages, 600, seed);
-        let b = stress(SystemConfig::mage_lib(), threads, wss_pages / 2, wss_pages, 600, seed);
-        prop_assert_eq!(a, b);
+/// Determinism: same shape, same seed → identical outcome for randomly
+/// chosen configurations.
+#[test]
+fn determinism_for_random_shapes() {
+    let rng = SplitMix64::new(0xD373_0000);
+    for _ in 0..4 {
+        let threads = (1 + rng.next_below(5)) as u32;
+        let wss_pages = 2_000 + rng.next_below(2_000);
+        let seed = rng.next_below(100_000);
+        let a = stress(
+            SystemConfig::mage_lib(),
+            threads,
+            wss_pages / 2,
+            wss_pages,
+            600,
+            seed,
+        );
+        let b = stress(
+            SystemConfig::mage_lib(),
+            threads,
+            wss_pages / 2,
+            wss_pages,
+            600,
+            seed,
+        );
+        assert_eq!(a, b);
     }
 }

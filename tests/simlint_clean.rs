@@ -1,0 +1,22 @@
+//! The workspace must be simlint-clean: `cargo test` fails if any
+//! simulation crate reintroduces wall-clock time, host threads, hash
+//! collections, std::sync primitives, external RNGs, or an unseeded RNG
+//! constructor (see DESIGN.md "Determinism rules").
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_determinism_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations = simlint::lint_workspace(root).expect("workspace scan");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        panic!(
+            "simlint: {} violation(s) — fix them or add a justified \
+             `// simlint: allow(<rule>): <why>` directive",
+            violations.len()
+        );
+    }
+}
