@@ -13,6 +13,12 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo build --examples"
+cargo build --examples
+
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "==> simlint (determinism rules, DESIGN.md §5)"
 cargo run -p simlint
 

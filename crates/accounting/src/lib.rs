@@ -29,6 +29,24 @@ use mage_sim::sync::{LockStats, SimMutex};
 use mage_sim::time::Nanos;
 use mage_sim::SimHandle;
 
+/// Hotness probe consulted while scanning victim candidates.
+///
+/// Implementors read **and age** the candidate's reference state (for the
+/// default second-chance policy: read-and-clear the PTE accessed bit).
+/// Returning `true` keeps the page resident for another round. The engine
+/// passes its configured `EvictionPolicy` through this trait; plain
+/// closures work too via the blanket impl (used by tests).
+pub trait VictimProbe {
+    /// Tests the candidate and ages its metadata; `true` means hot.
+    fn test_and_age(&self, vpn: u64) -> bool;
+}
+
+impl<F: Fn(u64) -> bool> VictimProbe for F {
+    fn test_and_age(&self, vpn: u64) -> bool {
+        self(vpn)
+    }
+}
+
 /// Service-time constants for accounting operations (virtual ns).
 #[derive(Clone, Debug)]
 pub struct AccountingCosts {
@@ -234,16 +252,17 @@ impl PageAccounting {
     /// pointer work, like Linux's `isolate_lru_pages`), then the
     /// accessed-bit recheck runs *off* the lock; hot pages get a second
     /// chance and are re-added to the active list. Under
-    /// [`AccountingKind::FifoQueues`] the predicate is not consulted (no
+    /// [`AccountingKind::FifoQueues`] the probe is not consulted (no
     /// recheck — the accuracy trade of MAGE-Lnx).
     ///
-    /// `is_hot` reads **and clears** the page's accessed bit.
+    /// `probe` reads **and ages** the page's reference state (see
+    /// [`VictimProbe`]).
     pub async fn take_victims(
         &self,
         evictor_id: usize,
         round: usize,
         want: usize,
-        is_hot: &dyn Fn(u64) -> bool,
+        probe: &dyn VictimProbe,
         out: &mut Vec<u64>,
     ) {
         let n = self.partitions.len();
@@ -274,7 +293,7 @@ impl PageAccounting {
                 if recheck {
                     self.sim.sleep(self.costs.scan_per_page_ns).await;
                     self.stats.scanned.inc();
-                    if is_hot(vpn) {
+                    if probe.test_and_age(vpn) {
                         hot.push(vpn);
                         continue;
                     }

@@ -1,0 +1,296 @@
+//! The far-memory backend seam: where evicted pages live and how bytes
+//! move there.
+//!
+//! The engine's fault and eviction paths do not talk to a NIC, a memory
+//! node or a slot allocator directly — they go through [`FarBackend`],
+//! which bundles the three concerns every backend must answer:
+//!
+//! - **data movement** ([`FarBackend::read_page`] / [`FarBackend::write_page`]):
+//!   posting a transfer returns a [`Completion`] future whose resolution
+//!   time is fixed at post time, which is what lets the pipelined evictor
+//!   (§4.1) post a batch of writes and harvest completions later;
+//! - **placement** ([`FarBackend::alloc_slot`] / [`FarBackend::release_slot`] /
+//!   [`FarBackend::seed_slot`]): mapping an evicted page to a backend slot,
+//!   either address-derived (VMA direct mapping, §4.2.3) or dynamically
+//!   allocated (swap-style);
+//! - **capacity** ([`FarBackend::node`]): region registration against the
+//!   passive node's exported bytes.
+//!
+//! Two implementations ship with the engine: [`RdmaBackend`] (the paper's
+//! testbed — one-sided RDMA to a single passive memory node) and
+//! [`DisaggTier`] (a higher-latency disaggregated tier behind a switch
+//! hop with dynamic slot placement), selected via
+//! [`BackendKind`](crate::config::BackendKind). Adding a backend is a new
+//! file implementing this trait plus a `BackendKind::Custom` constructor —
+//! no engine edits.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+
+use mage_fabric::{Completion, MemoryNode, Nic, NicConfig};
+use mage_mmu::PAGE_SIZE;
+use mage_palloc::{RemoteAllocator, SwapBitmap};
+use mage_sim::SimHandle;
+
+use crate::config::{RemoteAllocKind, SystemConfig};
+
+/// A boxed local future, the dyn-compatible shape of the backend's async
+/// placement operations (the simulator is single-threaded, so no `Send`).
+pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+
+/// Everything a far-memory backend must provide to the engine.
+pub trait FarBackend {
+    /// Display name (for reports and examples).
+    fn name(&self) -> &'static str;
+
+    /// Posts a one-sided read of `bytes` from far memory; the completion
+    /// resolves when the data has arrived.
+    fn read_page(&self, bytes: u64) -> Completion;
+
+    /// Posts a one-sided write of `bytes` to far memory; the completion
+    /// resolves when the write is durable.
+    fn write_page(&self, bytes: u64) -> Completion;
+
+    /// Resolves the backend slot for an eviction of a page whose VMA
+    /// direct-maps it to `direct_rpn`. Returns `None` when the backend is
+    /// out of capacity (the engine then skips the candidate).
+    fn alloc_slot<'a>(&'a self, direct_rpn: u64) -> LocalBoxFuture<'a, Option<u64>>;
+
+    /// Releases a slot when its page is faulted back in. Direct-mapping
+    /// backends keep the address-derived slot reserved and do nothing.
+    fn release_slot<'a>(&'a self, rpn: u64) -> LocalBoxFuture<'a, ()>;
+
+    /// Synchronously allocates a slot during setup (no virtual time).
+    fn seed_slot(&self, direct_rpn: u64) -> Option<u64>;
+
+    /// Whether clean pages must be written on eviction because their
+    /// previous backend copy is no longer addressable (fresh slot per
+    /// eviction). Direct mapping keeps clean copies valid and skips the
+    /// write.
+    fn writes_clean_pages(&self) -> bool;
+
+    /// The transfer link (bandwidth/latency model and transfer stats).
+    fn link(&self) -> &Rc<Nic>;
+
+    /// The passive node's capacity bookkeeping.
+    fn node(&self) -> &MemoryNode;
+}
+
+/// The paper's testbed backend: one-sided RDMA verbs to a single passive
+/// memory node, with the remote-slot policy taken from
+/// [`RemoteAllocKind`] (VMA direct mapping for DiLOS/MAGE, a swap-slot
+/// bitmap behind a global lock for Hermit).
+pub struct RdmaBackend {
+    nic: Rc<Nic>,
+    node: MemoryNode,
+    slots: RemoteAllocator,
+}
+
+impl RdmaBackend {
+    /// Builds the backend from the system's NIC config and remote-slot
+    /// policy.
+    pub fn new(sim: SimHandle, cfg: &SystemConfig, remote_pages: u64) -> Self {
+        let slots = match cfg.remote_alloc {
+            RemoteAllocKind::DirectMap => RemoteAllocator::DirectMap,
+            RemoteAllocKind::SwapLock => RemoteAllocator::Swap(Box::new(SwapBitmap::new(
+                sim.clone(),
+                remote_pages,
+                cfg.costs.swap_slot_ns,
+            ))),
+        };
+        RdmaBackend {
+            nic: Rc::new(Nic::new(sim, cfg.nic.clone())),
+            node: MemoryNode::new(remote_pages * PAGE_SIZE),
+            slots,
+        }
+    }
+}
+
+impl FarBackend for RdmaBackend {
+    fn name(&self) -> &'static str {
+        "rdma"
+    }
+
+    fn read_page(&self, bytes: u64) -> Completion {
+        self.nic.post_read(bytes)
+    }
+
+    fn write_page(&self, bytes: u64) -> Completion {
+        self.nic.post_write(bytes)
+    }
+
+    fn alloc_slot<'a>(&'a self, direct_rpn: u64) -> LocalBoxFuture<'a, Option<u64>> {
+        Box::pin(self.slots.alloc_for(direct_rpn))
+    }
+
+    fn release_slot<'a>(&'a self, rpn: u64) -> LocalBoxFuture<'a, ()> {
+        Box::pin(self.slots.release(rpn))
+    }
+
+    fn seed_slot(&self, direct_rpn: u64) -> Option<u64> {
+        match &self.slots {
+            RemoteAllocator::DirectMap => Some(direct_rpn),
+            RemoteAllocator::Swap(bitmap) => bitmap.seed_alloc(),
+        }
+    }
+
+    fn writes_clean_pages(&self) -> bool {
+        self.slots.is_synchronized()
+    }
+
+    fn link(&self) -> &Rc<Nic> {
+        &self.nic
+    }
+
+    fn node(&self) -> &MemoryNode {
+        &self.node
+    }
+}
+
+/// A disaggregated memory tier reached through a switch hop (pooled
+/// CXL-/fabric-attached memory rather than a directly-cabled RDMA node).
+///
+/// Differences from [`RdmaBackend`], all expressed through the trait seam
+/// with no engine changes:
+///
+/// - every transfer pays an extra `hop_ns` each way on top of the link's
+///   base latency (folded into the link model at construction);
+/// - placement is dynamic: the pool is shared, so slots are allocated
+///   from a bitmap on eviction and freed on fault-in — there is no
+///   address-derived home, which also means clean pages must be
+///   re-written on every eviction ([`FarBackend::writes_clean_pages`]).
+pub struct DisaggTier {
+    nic: Rc<Nic>,
+    node: MemoryNode,
+    slots: SwapBitmap,
+}
+
+impl DisaggTier {
+    /// Builds the tier from the system's NIC config, adding `hop_ns` of
+    /// switch latency per direction.
+    pub fn new(sim: SimHandle, cfg: &SystemConfig, remote_pages: u64, hop_ns: u64) -> Self {
+        let link = NicConfig {
+            base_read_ns: cfg.nic.base_read_ns + 2 * hop_ns,
+            base_write_ns: cfg.nic.base_write_ns + 2 * hop_ns,
+            ..cfg.nic.clone()
+        };
+        DisaggTier {
+            nic: Rc::new(Nic::new(sim.clone(), link)),
+            node: MemoryNode::new(remote_pages * PAGE_SIZE),
+            // Pool-side slot table: cheap (the tier's controller owns it),
+            // but a real allocation nonetheless.
+            slots: SwapBitmap::new(sim, remote_pages, cfg.costs.swap_slot_ns / 4),
+        }
+    }
+}
+
+impl FarBackend for DisaggTier {
+    fn name(&self) -> &'static str {
+        "disagg-tier"
+    }
+
+    fn read_page(&self, bytes: u64) -> Completion {
+        self.nic.post_read(bytes)
+    }
+
+    fn write_page(&self, bytes: u64) -> Completion {
+        self.nic.post_write(bytes)
+    }
+
+    fn alloc_slot<'a>(&'a self, _direct_rpn: u64) -> LocalBoxFuture<'a, Option<u64>> {
+        Box::pin(self.slots.alloc())
+    }
+
+    fn release_slot<'a>(&'a self, rpn: u64) -> LocalBoxFuture<'a, ()> {
+        Box::pin(self.slots.free(rpn))
+    }
+
+    fn seed_slot(&self, _direct_rpn: u64) -> Option<u64> {
+        self.slots.seed_alloc()
+    }
+
+    fn writes_clean_pages(&self) -> bool {
+        true
+    }
+
+    fn link(&self) -> &Rc<Nic> {
+        &self.nic
+    }
+
+    fn node(&self) -> &MemoryNode {
+        &self.node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mage_sim::Simulation;
+
+    #[test]
+    fn rdma_backend_direct_map_is_free() {
+        let sim = Simulation::new();
+        let cfg = SystemConfig::mage_lib();
+        let be = Rc::new(RdmaBackend::new(sim.handle(), &cfg, 1_024));
+        let b = Rc::clone(&be);
+        sim.block_on(async move {
+            assert_eq!(b.alloc_slot(77).await, Some(77), "address-derived slot");
+            b.release_slot(77).await;
+        });
+        assert_eq!(sim.run().as_nanos(), 0, "no virtual time consumed");
+        assert!(!be.writes_clean_pages());
+        assert_eq!(be.seed_slot(5), Some(5));
+    }
+
+    #[test]
+    fn rdma_backend_swap_lock_allocates() {
+        let sim = Simulation::new();
+        let cfg = SystemConfig::hermit();
+        let be = Rc::new(RdmaBackend::new(sim.handle(), &cfg, 8));
+        let b = Rc::clone(&be);
+        sim.block_on(async move {
+            let slot = b.alloc_slot(999).await.expect("capacity");
+            assert_ne!(slot, 999, "bitmap slot, not the direct rpn");
+        });
+        assert!(be.writes_clean_pages());
+    }
+
+    #[test]
+    fn disagg_tier_pays_the_hop() {
+        let sim = Simulation::new();
+        let cfg = SystemConfig::mage_lib();
+        let hop = 1_500;
+        let be = Rc::new(DisaggTier::new(sim.handle(), &cfg, 1_024, hop));
+        let base = cfg.nic.base_read_ns;
+        let b = Rc::clone(&be);
+        let h = sim.handle();
+        let latency = sim.block_on(async move {
+            let t0 = h.now();
+            b.read_page(PAGE_SIZE).await;
+            h.now().saturating_since(t0)
+        });
+        assert!(
+            latency >= base + 2 * hop,
+            "tier read {latency} must include the switch hop"
+        );
+        assert!(be.writes_clean_pages(), "pooled slots are fresh every time");
+    }
+
+    #[test]
+    fn disagg_tier_recycles_slots() {
+        let sim = Simulation::new();
+        let cfg = SystemConfig::mage_lib();
+        let be = Rc::new(DisaggTier::new(sim.handle(), &cfg, 4, 0));
+        let b = Rc::clone(&be);
+        sim.block_on(async move {
+            let mut slots = Vec::new();
+            for _ in 0..4 {
+                slots.push(b.alloc_slot(0).await.expect("capacity"));
+            }
+            assert!(b.alloc_slot(0).await.is_none(), "pool exhausted");
+            b.release_slot(slots[1]).await;
+            assert_eq!(b.alloc_slot(0).await, Some(slots[1]), "slot recycled");
+        });
+    }
+}

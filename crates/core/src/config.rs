@@ -19,8 +19,12 @@ use mage_accounting::AccountingKind;
 use mage_fabric::NicConfig;
 use mage_mmu::VmaLockModel;
 use mage_palloc::LocalAllocatorKind;
+use mage_sim::time::Nanos;
+use mage_sim::SimHandle;
 
+use crate::backend::{DisaggTier, FarBackend, RdmaBackend};
 use crate::costs::{CostModel, OsProfile};
+use crate::reclaim::{AgingClock, EvictionPolicy, Fifo, SecondChance};
 
 /// Remote-slot allocation policy selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,6 +33,94 @@ pub enum RemoteAllocKind {
     DirectMap,
     /// Linux swap-slot bitmap behind a global lock.
     SwapLock,
+}
+
+/// Victim-selection policy selector (`EP₁`); see
+/// [`EvictionPolicy`].
+#[derive(Clone, Copy, Debug)]
+pub enum EvictionPolicyKind {
+    /// The paper's second-chance accessed-bit test (default everywhere).
+    SecondChance,
+    /// Strict FIFO: no reference recheck at the policy level.
+    Fifo,
+    /// Aging-counter CLOCK: each hit grants `hot_rounds` grace rounds.
+    AgingClock {
+        /// Grace rounds granted per hit (1 behaves like second chance).
+        hot_rounds: u8,
+    },
+    /// A user-provided policy; `build` is called once at machine launch.
+    Custom {
+        /// Display name.
+        name: &'static str,
+        /// Policy constructor.
+        build: fn() -> Box<dyn EvictionPolicy>,
+    },
+}
+
+impl EvictionPolicyKind {
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn EvictionPolicy> {
+        match *self {
+            EvictionPolicyKind::SecondChance => Box::new(SecondChance),
+            EvictionPolicyKind::Fifo => Box::new(Fifo),
+            EvictionPolicyKind::AgingClock { hot_rounds } => Box::new(AgingClock::new(hot_rounds)),
+            EvictionPolicyKind::Custom { build, .. } => build(),
+        }
+    }
+
+    /// Display name of the selected policy.
+    pub fn name(&self) -> &'static str {
+        match *self {
+            EvictionPolicyKind::SecondChance => "second-chance",
+            EvictionPolicyKind::Fifo => "fifo",
+            EvictionPolicyKind::AgingClock { .. } => "aging-clock",
+            EvictionPolicyKind::Custom { name, .. } => name,
+        }
+    }
+}
+
+/// Far-memory backend selector; see [`FarBackend`].
+#[derive(Clone, Copy, Debug)]
+pub enum BackendKind {
+    /// One-sided RDMA to a single passive memory node (the paper's
+    /// testbed; default everywhere). Slot placement follows
+    /// [`SystemConfig::remote_alloc`].
+    Rdma,
+    /// A disaggregated memory tier behind a switch hop: higher latency,
+    /// dynamic pool-side slot placement, clean pages re-written on every
+    /// eviction.
+    DisaggTier {
+        /// Extra switch latency per direction, ns.
+        hop_ns: Nanos,
+    },
+    /// A user-provided backend; `build` is called once at machine launch
+    /// with the simulation handle, the full config and the far-memory
+    /// capacity in pages.
+    Custom {
+        /// Display name.
+        name: &'static str,
+        /// Backend constructor.
+        build: fn(SimHandle, &SystemConfig, u64) -> Box<dyn FarBackend>,
+    },
+}
+
+impl BackendKind {
+    /// Instantiates the backend for a machine with `remote_pages` of far
+    /// memory.
+    pub fn build(
+        &self,
+        sim: SimHandle,
+        cfg: &SystemConfig,
+        remote_pages: u64,
+    ) -> Box<dyn FarBackend> {
+        match *self {
+            BackendKind::Rdma => Box::new(RdmaBackend::new(sim, cfg, remote_pages)),
+            BackendKind::DisaggTier { hop_ns } => {
+                Box::new(DisaggTier::new(sim, cfg, remote_pages, hop_ns))
+            }
+            BackendKind::Custom { build, .. } => build(sim, cfg, remote_pages),
+        }
+    }
 }
 
 /// Prefetching policy on the fault-in path.
@@ -52,8 +144,12 @@ pub struct SystemConfig {
     pub accounting: AccountingKind,
     /// Local frame-allocator stack (`FP₁`).
     pub local_alloc: LocalAllocatorKind,
-    /// Remote-slot policy (`EP₃`).
+    /// Remote-slot policy (`EP₃`), consumed by the RDMA backend.
     pub remote_alloc: RemoteAllocKind,
+    /// Victim-selection policy (`EP₁`).
+    pub eviction_policy: EvictionPolicyKind,
+    /// Far-memory backend (data movement + slot placement).
+    pub backend: BackendKind,
     /// Address-space lock granularity.
     pub vma_lock: VmaLockModel,
     /// Number of dedicated evictor threads.
@@ -92,6 +188,8 @@ impl SystemConfig {
             accounting: AccountingKind::PartitionedLru { partitions: 8 },
             local_alloc: LocalAllocatorKind::MultiLayer,
             remote_alloc: RemoteAllocKind::DirectMap,
+            eviction_policy: EvictionPolicyKind::SecondChance,
+            backend: BackendKind::Rdma,
             vma_lock: VmaLockModel::None,
             evictors: 4,
             max_evictors: 4,
@@ -115,6 +213,8 @@ impl SystemConfig {
             accounting: AccountingKind::FifoQueues { partitions: 8 },
             local_alloc: LocalAllocatorKind::MultiLayer,
             remote_alloc: RemoteAllocKind::DirectMap,
+            eviction_policy: EvictionPolicyKind::SecondChance,
+            backend: BackendKind::Rdma,
             vma_lock: VmaLockModel::Sharded(16),
             evictors: 4,
             max_evictors: 4,
@@ -141,6 +241,8 @@ impl SystemConfig {
             accounting: AccountingKind::GlobalLru,
             local_alloc: LocalAllocatorKind::PcpuCache,
             remote_alloc: RemoteAllocKind::SwapLock,
+            eviction_policy: EvictionPolicyKind::SecondChance,
+            backend: BackendKind::Rdma,
             vma_lock: VmaLockModel::Global,
             evictors: 4,
             max_evictors: 32,
@@ -165,6 +267,8 @@ impl SystemConfig {
             accounting: AccountingKind::GlobalLru,
             local_alloc: LocalAllocatorKind::GlobalBuddy,
             remote_alloc: RemoteAllocKind::DirectMap,
+            eviction_policy: EvictionPolicyKind::SecondChance,
+            backend: BackendKind::Rdma,
             vma_lock: VmaLockModel::None,
             evictors: 4,
             max_evictors: 4,
@@ -190,6 +294,8 @@ impl SystemConfig {
             accounting: AccountingKind::PartitionedLru { partitions: 8 },
             local_alloc: LocalAllocatorKind::MultiLayer,
             remote_alloc: RemoteAllocKind::DirectMap,
+            eviction_policy: EvictionPolicyKind::SecondChance,
+            backend: BackendKind::Rdma,
             vma_lock: VmaLockModel::None,
             evictors: 4,
             max_evictors: 4,
@@ -218,10 +324,23 @@ impl SystemConfig {
         self
     }
 
-    /// Swaps the far-memory backend (§8: the design applies to any fast
+    /// Swaps the backend's link model (§8: the design applies to any fast
     /// swap backend — RDMA memory, NVMe SSDs, compressed RAM).
     pub fn with_backend(mut self, nic: NicConfig) -> Self {
         self.nic = nic;
+        self
+    }
+
+    /// Swaps the far-memory backend implementation (data movement + slot
+    /// placement), e.g. to the disaggregated tier.
+    pub fn with_backend_kind(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Swaps the victim-selection policy.
+    pub fn with_eviction_policy(mut self, policy: EvictionPolicyKind) -> Self {
+        self.eviction_policy = policy;
         self
     }
 }

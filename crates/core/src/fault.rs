@@ -1,0 +1,429 @@
+//! The fault-in path (`FP₁`–`FP₃`).
+//!
+//! [`FarMemory::access`] is the application-facing entry point: TLB hit,
+//! hardware walk, or full page fault. The major-fault path follows §2.1
+//! of the paper: trap entry → VMA lock → PTE fault-dedup lock → frame
+//! allocation (waiting for the evictors under MAGE's P1, or falling back
+//! to synchronous eviction in the baselines) → one-sided read from the
+//! backend → PTE install → accounting insert → TLB fill.
+//!
+//! Every stage is timed into a `FaultCtx`, which carries the per-fault
+//! component times and settles them into the Fig. 6/16 breakdown
+//! categories exactly once, when the fault completes.
+
+use mage_mmu::{CoreId, Pte, PAGE_SIZE};
+use mage_sim::time::{Nanos, SimTime};
+
+use crate::machine::{Access, FarMemory};
+
+/// Per-fault timing context: component times accumulated while one major
+/// fault traverses `FP₁`–`FP₃`, settled into the breakdown stats exactly
+/// once at the end.
+struct FaultCtx {
+    /// Virtual time at trap entry.
+    t0: SimTime,
+    /// TLB-shootdown time from synchronous eviction inside this fault.
+    sync_tlb_ns: Nanos,
+    /// Accounting-scan time from synchronous eviction inside this fault.
+    sync_acct_ns: Nanos,
+    /// Backend read wait (`FP₂`).
+    rdma_ns: Nanos,
+    /// Remote-slot release time (`FP₂`).
+    slot_ns: Nanos,
+    /// Memory circulation: frame allocation + waiting for free pages.
+    circ_ns: Nanos,
+    /// Accounting insert time (`FP₃`), plus this fault's sync scans.
+    acct_ns: Nanos,
+}
+
+impl FaultCtx {
+    fn enter(now: SimTime) -> Self {
+        FaultCtx {
+            t0: now,
+            sync_tlb_ns: 0,
+            sync_acct_ns: 0,
+            rdma_ns: 0,
+            slot_ns: 0,
+            circ_ns: 0,
+            acct_ns: 0,
+        }
+    }
+
+    /// Settles a fault that short-circuited (resolved by another thread
+    /// or by cancelling an in-flight eviction): total latency only, no
+    /// component attribution.
+    fn settle_early(self, engine: &FarMemory) -> Nanos {
+        let total = engine.sim.now().saturating_since(self.t0);
+        engine.stats.record_fault(total, 0);
+        total
+    }
+
+    /// Settles a completed fault into the breakdown categories.
+    fn settle(self, engine: &FarMemory) -> Nanos {
+        let b = &engine.stats.breakdown;
+        b.rdma.borrow_mut().record(self.rdma_ns);
+        b.tlb.borrow_mut().record(self.sync_tlb_ns);
+        b.accounting.borrow_mut().record(self.acct_ns);
+        b.circulation.borrow_mut().record(self.circ_ns + self.slot_ns);
+        let total = engine.sim.now().saturating_since(self.t0);
+        engine.stats.record_fault(
+            total,
+            self.rdma_ns + self.sync_tlb_ns + self.acct_ns + self.circ_ns + self.slot_ns,
+        );
+        total
+    }
+}
+
+impl FarMemory {
+    /// Performs one page access from `core`. This is the application-facing
+    /// entry point: TLB hit, hardware walk, or full page fault.
+    pub async fn access(&self, core: CoreId, vpn: u64, write: bool) -> Access {
+        self.stats.accesses.inc();
+        // Interrupt handling (TLB shootdown IPIs) steals time from this
+        // core's thread; account for it before the access proceeds.
+        let stolen = self.ic.take_stolen(core);
+        if stolen > 0 {
+            self.sim.sleep(stolen).await;
+        }
+        if self.ic.tlb(core).lookup(vpn) {
+            self.stats.tlb_hits.inc();
+            if write {
+                self.pt.update(vpn, |p| p.with_dirty(true));
+            }
+            return Access::TlbHit;
+        }
+        self.sim.sleep(self.cfg.costs.hw_walk_ns).await;
+        let pte = self.pt.get(vpn);
+        if pte.is_present() {
+            self.pt.update(vpn, |p| {
+                p.with_accessed(true).with_dirty(p.dirty() || write)
+            });
+            self.ic.tlb(core).fill(vpn);
+            self.stats.minor_walks.inc();
+            // Readahead retrigger: the first touch of a prefetched page is
+            // a minor walk (it is not TLB-resident yet), which acts as the
+            // PG_readahead marker keeping the window ahead of the stream.
+            self.maybe_prefetch(core, vpn);
+            return Access::Minor;
+        }
+        let latency = self.fault_in(core, vpn, write).await;
+        Access::Major { latency }
+    }
+
+    /// The major-fault path (`FP₁`–`FP₃`).
+    async fn fault_in(&self, core: CoreId, vpn: u64, write: bool) -> Nanos {
+        let costs = self.cfg.costs.clone();
+        let mut ctx = FaultCtx::enter(self.sim.now());
+        self.sim
+            .sleep(costs.os.fault_entry_ns + costs.os.pt_walk_ns + costs.os.swapcache_ns)
+            .await;
+
+        // Address-space metadata lock (Linux-derived systems only).
+        let vma_lock = self.asp.borrow().lock_for(vpn).cloned();
+        if let Some(l) = vma_lock {
+            let guard = l.lock().await;
+            self.sim.sleep(costs.vma_lock_hold_ns).await;
+            drop(guard);
+        }
+
+        // PTE fault-dedup lock (unified-page-table style, §5.2).
+        loop {
+            let pte = self.pt.get(vpn);
+            if pte.is_present() {
+                // Another thread (or a prefetch) resolved the fault.
+                self.pt.update(vpn, |p| {
+                    p.with_accessed(true).with_dirty(p.dirty() || write)
+                });
+                self.ic.tlb(core).fill(vpn);
+                self.stats.prefetch_inflight_hits.inc();
+                return ctx.settle_early(self);
+            }
+            if pte.locked() {
+                // Refault on a page mid-eviction: cancel the eviction and
+                // re-map the still-intact frame (swap-cache refault).
+                let cancelled = self.evicting.borrow_mut().remove(&vpn);
+                if let Some((frame, _gen)) = cancelled {
+                    self.sim.sleep(costs.os.pte_update_ns).await;
+                    // The remote copy may be stale, so the page must be
+                    // considered dirty from here on.
+                    self.pt.set(
+                        vpn,
+                        Pte::present(frame).with_accessed(true).with_dirty(true),
+                    );
+                    self.acct.insert(core.index(), vpn).await;
+                    self.ic.tlb(core).fill(vpn);
+                    self.wake_page(vpn);
+                    self.stats.evict_cancels.inc();
+                    return ctx.settle_early(self);
+                }
+                self.stats.page_lock_waits.inc();
+                self.wait_for_page(vpn).await;
+                continue;
+            }
+            let locked = self.pt.try_lock(vpn);
+            debug_assert!(locked, "PTE lock raced on a single-threaded executor");
+            break;
+        }
+        let pte = self.pt.get(vpn);
+        let was_remote = pte.is_remote();
+        let rpn = pte.payload();
+
+        // FP₁: obtain a free frame. MAGE (P1) never evicts here — it waits
+        // for the dedicated evictors; the baselines fall back to
+        // synchronous eviction, paying shootdowns on the critical path.
+        let t_circ = self.sim.now();
+        let frame = loop {
+            if let Some(f) = self.alloc.alloc(core.index()).await {
+                break f;
+            }
+            if self.cfg.sync_eviction {
+                let outcome = self
+                    .evict_batch(core, core.index(), 0, self.cfg.sync_eviction_batch, true)
+                    .await;
+                ctx.sync_tlb_ns += outcome.tlb_ns;
+                ctx.sync_acct_ns += outcome.acct_ns;
+                if outcome.pages == 0 {
+                    // Nothing evictable right now; let others make progress.
+                    self.sim.sleep(1_000).await;
+                }
+            } else {
+                let t_w = self.sim.now();
+                self.free_waiters.wait().await;
+                self.stats
+                    .free_wait
+                    .borrow_mut()
+                    .record(self.sim.now().saturating_since(t_w));
+            }
+        };
+        ctx.circ_ns = self
+            .sim
+            .now()
+            .saturating_since(t_circ)
+            .saturating_sub(ctx.sync_tlb_ns + ctx.sync_acct_ns);
+
+        // FP₂: fetch the page contents from the backend (not needed on
+        // first touch, which zero-fills).
+        if was_remote {
+            let t_r = self.sim.now();
+            self.sim.sleep(costs.os.rdma_post_cpu_ns).await;
+            self.backend.read_page(PAGE_SIZE).await;
+            ctx.rdma_ns = self.sim.now().saturating_since(t_r);
+            // Release the backend slot (Linux frees it on swap-in; direct
+            // mapping keeps the address-derived slot reserved).
+            let t_s = self.sim.now();
+            self.backend.release_slot(rpn).await;
+            ctx.slot_ns = self.sim.now().saturating_since(t_s);
+        }
+
+        // FP₃: install the mapping and account the page.
+        self.sim
+            .sleep(costs.os.pte_update_ns + costs.os.rmap_cgroup_ns)
+            .await;
+        self.pt.set(
+            vpn,
+            Pte::present(frame)
+                .with_accessed(true)
+                .with_dirty(write || !was_remote),
+        );
+        let t_a = self.sim.now();
+        self.acct.insert(core.index(), vpn).await;
+        ctx.acct_ns = self.sim.now().saturating_since(t_a) + ctx.sync_acct_ns;
+        self.ic.tlb(core).fill(vpn);
+        self.wake_page(vpn);
+
+        // Readahead.
+        self.maybe_prefetch(core, vpn);
+
+        ctx.settle(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::rc::Rc;
+
+    use mage_mmu::{CoreId, Topology, Vma};
+    use mage_sim::Simulation;
+
+    use crate::machine::{Access, FarMemory, MachineParams};
+    use crate::SystemConfig;
+
+    fn small_machine(cfg: SystemConfig) -> (Simulation, Rc<FarMemory>, Vma) {
+        let sim = Simulation::new();
+        let params = MachineParams {
+            topo: Topology::single_socket(8),
+            app_threads: 4,
+            local_pages: 512,
+            remote_pages: 4_096,
+            tlb_entries: 64,
+            seed: 7,
+        };
+        let engine = FarMemory::launch(sim.handle(), cfg, params);
+        let vma = engine.mmap(1_024);
+        engine.populate(&vma);
+        (sim, engine, vma)
+    }
+
+    #[test]
+    fn local_access_is_cheap_remote_access_faults() {
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            // Find one local and one remote page.
+            let local_vpn = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .find(|&v| e.pt.get(v).is_present())
+                .expect("some local page");
+            let remote_vpn = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .find(|&v| e.pt.get(v).is_remote())
+                .expect("some remote page");
+
+            let a = e.access(CoreId(0), local_vpn, false).await;
+            assert_eq!(a, Access::Minor, "first touch walks");
+            let a = e.access(CoreId(0), local_vpn, false).await;
+            assert_eq!(a, Access::TlbHit);
+
+            let t0 = e.sim.now();
+            let a = e.access(CoreId(1), remote_vpn, false).await;
+            let lat = e.sim.now() - t0;
+            assert!(matches!(a, Access::Major { .. }));
+            assert!(lat >= 3_900, "must include the RDMA read: {lat}");
+            // Now present and hot.
+            let a = e.access(CoreId(1), remote_vpn, false).await;
+            assert_eq!(a, Access::TlbHit);
+        });
+        assert_eq!(engine.stats().major_faults.get(), 1);
+        assert_eq!(engine.nic().stats().reads.get(), 1);
+    }
+
+    #[test]
+    fn write_sets_dirty_through_tlb() {
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            let remote_vpn = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .find(|&v| e.pt.get(v).is_remote())
+                .expect("some remote page");
+            e.access(CoreId(0), remote_vpn, false).await;
+            assert!(!e.pt.get(remote_vpn).dirty(), "clean after read fault");
+            e.access(CoreId(0), remote_vpn, true).await;
+            assert!(e.pt.get(remote_vpn).dirty(), "TLB-hit write sets dirty");
+        });
+    }
+
+    #[test]
+    fn fault_dedup_single_rdma_read() {
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        let remote_vpn = (0..vma.pages)
+            .map(|i| vma.start_vpn + i)
+            .find(|&v| e.pt.get(v).is_remote())
+            .expect("some remote page");
+        // Four threads fault the same page concurrently.
+        let mut joins = Vec::new();
+        for c in 0..4u32 {
+            let e = Rc::clone(&engine);
+            joins.push(sim.spawn(async move { e.access(CoreId(c), remote_vpn, false).await }));
+        }
+        let results = sim.block_on(async move {
+            let mut out = Vec::new();
+            for j in joins {
+                out.push(j.await);
+            }
+            out
+        });
+        assert!(results.iter().all(|a| matches!(a, Access::Major { .. })));
+        assert_eq!(
+            engine.nic().stats().reads.get(),
+            1,
+            "dedup: one RDMA read for four concurrent faults"
+        );
+        assert!(engine.stats().page_lock_waits.get() >= 1);
+    }
+
+    #[test]
+    fn eviction_sustains_fault_streams() {
+        // Touch far more pages than fit locally; the background evictors
+        // must keep the fault path supplied with frames.
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            for i in 0..vma.pages {
+                e.access(CoreId(0), vma.start_vpn + i, false).await;
+            }
+        });
+        assert!(engine.stats().major_faults.get() > 400);
+        assert_eq!(engine.stats().sync_evictions.get(), 0, "MAGE P1");
+        assert!(engine.stats().evicted_pages.get() > 0);
+        // Conservation: frames in flight + free == local quota.
+        assert!(engine.allocator().free_frames() <= 512);
+    }
+
+    #[test]
+    fn hermit_uses_sync_eviction_under_pressure() {
+        let (sim, engine, vma) = small_machine(SystemConfig::hermit());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            for i in 0..vma.pages {
+                e.access(CoreId(0), vma.start_vpn + i, false).await;
+            }
+        });
+        assert!(engine.stats().major_faults.get() > 400);
+    }
+
+    #[test]
+    fn pageout_forces_pages_remote() {
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            // Find a handful of local pages and page them out.
+            let local: Vec<u64> = (0..vma.pages)
+                .map(|i| vma.start_vpn + i)
+                .filter(|&v| e.pt.get(v).is_present())
+                .take(16)
+                .collect();
+            let n = e.pageout(CoreId(0), &local).await;
+            assert_eq!(n, 16);
+            for &vpn in &local {
+                assert!(e.pt.get(vpn).is_remote(), "page {vpn:#x} still local");
+                assert!(!e.pt.get(vpn).locked(), "page {vpn:#x} left locked");
+            }
+            // Accessing a paged-out page faults it back in.
+            let a = e.access(CoreId(1), local[0], false).await;
+            assert!(matches!(a, Access::Major { .. }));
+        });
+        // Populate marks local pages dirty, so all 16 were written back.
+        assert!(engine.stats().writebacks.get() >= 16);
+    }
+
+    #[test]
+    fn stale_tlb_never_survives_eviction() {
+        // After a page is evicted and reclaimed, accessing it again must
+        // fault (not hit a stale TLB entry).
+        let (sim, engine, vma) = small_machine(SystemConfig::mage_lib());
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            // Touch every page twice (fills TLBs), forcing evictions.
+            for round in 0..2 {
+                for i in 0..vma.pages {
+                    e.access(CoreId((i % 4) as u32), vma.start_vpn + i, round == 0)
+                        .await;
+                }
+            }
+            // Any page that is now remote must not be TLB-resident anywhere.
+            for i in 0..vma.pages {
+                let vpn = vma.start_vpn + i;
+                if e.pt.get(vpn).is_remote() {
+                    for c in 0..4u32 {
+                        assert!(
+                            !e.ic.tlb(CoreId(c)).translates(vpn),
+                            "stale TLB entry for evicted page {vpn:#x} on core {c}"
+                        );
+                    }
+                }
+            }
+        });
+    }
+}

@@ -55,16 +55,22 @@
 //! assert!(faults > 0, "pages beyond the local quota must fault");
 //! ```
 
+pub mod backend;
 pub mod config;
 pub mod costs;
-pub mod engine;
-mod evict;
+pub mod fault;
 pub mod ideal;
+pub mod machine;
 mod prefetch;
+pub mod reclaim;
 pub mod stats;
 
-pub use config::{PrefetchPolicy, RemoteAllocKind, SystemConfig};
+pub use backend::{DisaggTier, FarBackend, LocalBoxFuture, RdmaBackend};
+pub use config::{
+    BackendKind, EvictionPolicyKind, PrefetchPolicy, RemoteAllocKind, SystemConfig,
+};
 pub use costs::{CostModel, OsProfile};
-pub use engine::{Access, FarMemory, MachineParams};
 pub use ideal::IdealModel;
+pub use machine::{Access, FarMemory, MachineParams};
+pub use reclaim::{AgingClock, EvictionPolicy, Fifo, SecondChance};
 pub use stats::{BreakdownMeans, EngineStats};

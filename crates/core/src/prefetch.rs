@@ -14,7 +14,7 @@ use std::rc::Rc;
 use mage_mmu::{CoreId, Pte, PAGE_SIZE};
 
 use crate::config::PrefetchPolicy;
-use crate::engine::FarMemory;
+use crate::machine::FarMemory;
 
 /// Per-core sequential-stream detector.
 pub(crate) struct StreamDetector {
@@ -123,8 +123,8 @@ impl FarMemory {
             return;
         };
         self.sim.sleep(self.cfg.costs.os.rdma_post_cpu_ns).await;
-        self.nic.post_read(PAGE_SIZE).await;
-        self.remote.release(rpn).await;
+        self.backend.read_page(PAGE_SIZE).await;
+        self.backend.release_slot(rpn).await;
         self.sim.sleep(self.cfg.costs.os.pte_update_ns).await;
         // Installed with one referenced round (like swap-cache readahead
         // pages): enough grace not to be reclaimed before first touch,

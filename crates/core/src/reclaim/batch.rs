@@ -1,0 +1,257 @@
+//! One eviction batch: victim selection, unmap, shootdown, writeback,
+//! reclaim (steps ①–⑦ of §4.1), shared by the sequential evictor, the
+//! synchronous fault-path fallback, `madvise(MADV_PAGEOUT)`-style forced
+//! pageout and the pipelined evictor.
+
+use mage_fabric::Completion;
+use mage_mmu::{CoreId, FlushTicket, Pte, PAGE_SIZE};
+use mage_sim::time::Nanos;
+
+use crate::machine::FarMemory;
+use crate::reclaim::policy::PolicyProbe;
+
+/// One page moving through the eviction pipeline.
+pub(crate) struct EvictPage {
+    pub(crate) vpn: u64,
+    pub(crate) frame: u64,
+    pub(crate) dirty: bool,
+    /// Generation tag matching this page's entry in `FarMemory::evicting`.
+    pub(crate) gen: u64,
+}
+
+/// Timing contributions of one (possibly synchronous) eviction batch.
+pub(crate) struct EvictOutcome {
+    /// Pages evicted.
+    pub pages: usize,
+    /// Time spent waiting on the TLB shootdown.
+    pub tlb_ns: Nanos,
+    /// Time spent in accounting scans.
+    pub acct_ns: Nanos,
+}
+
+impl FarMemory {
+    /// Allocates a backend slot for candidate `vpn` and unmaps it,
+    /// leaving the PTE `remote + locked` so concurrent faults wait until
+    /// the writeback is durable. Returns the staged page, or `None` if
+    /// the candidate must be skipped (raced with a fault/unmap, VMA gone,
+    /// or far memory exhausted).
+    ///
+    /// This is the single unmap implementation behind both the scan-driven
+    /// batches ([`FarMemory::scan_and_unmap`]) and forced pageout
+    /// ([`FarMemory::pageout`]).
+    async fn unmap_candidate(&self, vpn: u64) -> Option<EvictPage> {
+        let pte = self.pt.get(vpn);
+        if !pte.is_present() || pte.locked() {
+            return None; // raced with an unmap or an in-flight fault
+        }
+        let direct_rpn = {
+            let asp = self.asp.borrow();
+            match asp.find(vpn) {
+                Some(vma) => vma.remote_page(vpn),
+                None => return None,
+            }
+        };
+        let unmap_cost = self.cfg.costs.os.pte_update_ns
+            + self.cfg.costs.os.rmap_cgroup_ns
+            + self.cfg.costs.os.swapcache_ns;
+        self.sim.sleep(unmap_cost).await;
+        let rpn = self.backend.alloc_slot(direct_rpn).await?;
+        let frame = pte.payload();
+        let dirty = pte.dirty();
+        self.pt.set(vpn, Pte::remote(rpn).with_locked(true));
+        let gen = self.evict_gen.get();
+        self.evict_gen.set(gen + 1);
+        self.evicting.borrow_mut().insert(vpn, (frame, gen));
+        self.stats.unmapped_pages.inc();
+        Some(EvictPage {
+            vpn,
+            frame,
+            dirty,
+            gen,
+        })
+    }
+
+    /// Steps ① of §4.1: select victims through the accounting structure
+    /// and the configured [`EvictionPolicy`](crate::reclaim::EvictionPolicy),
+    /// allocate backend slots and unmap.
+    ///
+    /// Returns the unmapped batch and the accounting-scan time.
+    pub(crate) async fn scan_and_unmap(
+        &self,
+        evictor_id: usize,
+        round: usize,
+        want: usize,
+    ) -> (Vec<EvictPage>, Nanos) {
+        let t0 = self.sim.now();
+        let mut victims = Vec::new();
+        let probe = PolicyProbe {
+            pt: &self.pt,
+            policy: &*self.policy,
+        };
+        self.acct
+            .take_victims(evictor_id, round, want, &probe, &mut victims)
+            .await;
+        let acct_ns = self.sim.now().saturating_since(t0);
+        let mut batch = Vec::with_capacity(victims.len());
+        for vpn in victims {
+            if let Some(page) = self.unmap_candidate(vpn).await {
+                batch.push(page);
+            }
+        }
+        (batch, acct_ns)
+    }
+
+    /// Steps ②–③ initiation: send the batched shootdown IPIs.
+    pub(crate) async fn send_shootdown(&self, core: CoreId, batch: &[EvictPage]) -> FlushTicket {
+        let vpns: Vec<u64> = batch.iter().map(|p| p.vpn).collect();
+        self.ic.send_flush(core, &self.app_cores, &vpns).await
+    }
+
+    /// Steps ④–⑤: post the writebacks for flushed pages.
+    ///
+    /// Clean pages whose backend copy is still valid (direct mapping)
+    /// skip the write; backends with per-eviction slot allocation report
+    /// [`writes_clean_pages`](crate::backend::FarBackend::writes_clean_pages),
+    /// so every page is written.
+    pub(crate) async fn post_writebacks(&self, batch: &[EvictPage]) -> Option<Completion> {
+        let must_write_clean = self.backend.writes_clean_pages();
+        let mut last = None;
+        let mut wrote = 0u64;
+        for page in batch {
+            if page.dirty || must_write_clean {
+                last = Some(self.backend.write_page(PAGE_SIZE));
+                wrote += 1;
+            } else {
+                self.stats.clean_reclaims.inc();
+            }
+        }
+        if wrote > 0 {
+            // Doorbell-batched posting cost for the whole group.
+            self.sim
+                .sleep(
+                    self.cfg.costs.os.rdma_post_cpu_ns
+                        + self.cfg.costs.evict_post_per_page_ns * (wrote - 1),
+                )
+                .await;
+            self.stats.writebacks.add(wrote);
+        }
+        last
+    }
+
+    /// Step ⑦: reclaim the frames, release the page locks and wake both
+    /// page waiters and threads stalled on the free list. Returns the
+    /// number of frames actually reclaimed (cancelled pages excluded).
+    pub(crate) async fn finalize_batch(
+        &self,
+        core: CoreId,
+        batch: &[EvictPage],
+        sync: bool,
+    ) -> usize {
+        let mut frames = Vec::with_capacity(batch.len());
+        for page in batch {
+            // A concurrent refault may have cancelled this page's
+            // eviction and reclaimed the frame — and the page may even be
+            // mid-eviction again under a *newer* batch. Only the batch
+            // whose generation still owns the entry may reclaim.
+            {
+                let mut evicting = self.evicting.borrow_mut();
+                match evicting.get(&page.vpn) {
+                    Some(&(_, gen)) if gen == page.gen => {
+                        evicting.remove(&page.vpn);
+                    }
+                    _ => {
+                        self.stats.evict_cancelled_pages.inc();
+                        continue;
+                    }
+                }
+            }
+            #[cfg(debug_assertions)]
+            for c in self.topo.cores() {
+                debug_assert!(
+                    !self.ic.tlb(c).translates(page.vpn),
+                    "frame reclaim with live translation: vpn {:#x} core {c:?}",
+                    page.vpn
+                );
+            }
+            self.pt.update(page.vpn, |p| p.with_locked(false));
+            self.wake_page(page.vpn);
+            frames.push(page.frame);
+        }
+        self.alloc.free_batch(core.index(), &frames).await;
+        self.free_waiters.wake_all();
+        self.stats.eviction_batches.inc();
+        // Count only frames actually reclaimed: pages cancelled mid-batch
+        // by a refault are accounted under `evict_cancelled_pages`, never
+        // under the evicted counters.
+        if sync {
+            self.stats.sync_evicted_pages.add(frames.len() as u64);
+        } else {
+            self.stats.evicted_pages.add(frames.len() as u64);
+        }
+        frames.len()
+    }
+
+    /// Steps ②–⑦ with blocking waits: shootdown, writeback, reclaim.
+    /// Returns the TLB-shootdown wait time.
+    async fn flush_batch_sync(&self, core: CoreId, batch: &[EvictPage], sync: bool) -> Nanos {
+        let t_tlb = self.sim.now();
+        let ticket = self.send_shootdown(core, batch).await;
+        ticket.wait().await;
+        let tlb_ns = self.sim.now().saturating_since(t_tlb);
+        if let Some(completion) = self.post_writebacks(batch).await {
+            completion.await;
+        }
+        self.finalize_batch(core, batch, sync).await;
+        tlb_ns
+    }
+
+    /// Force-evicts the given present pages (an `madvise(MADV_PAGEOUT)`
+    /// analogue, the mechanism the paper's §3.2 microbenchmarks use to
+    /// pre-evict pages). Runs the full unmap → shootdown → writeback →
+    /// reclaim sequence synchronously on the calling core and returns the
+    /// number of pages actually paged out.
+    pub async fn pageout(&self, core: CoreId, vpns: &[u64]) -> usize {
+        let mut batch = Vec::new();
+        for &vpn in vpns {
+            if let Some(page) = self.unmap_candidate(vpn).await {
+                batch.push(page);
+            }
+        }
+        if batch.is_empty() {
+            return 0;
+        }
+        self.flush_batch_sync(core, &batch, false).await;
+        batch.len()
+    }
+
+    /// A full sequential eviction batch (steps ①–⑦ with blocking waits).
+    ///
+    /// Used by the background evictors of non-pipelined systems and by
+    /// the synchronous-eviction fallback on the fault path (`sync`).
+    pub(crate) async fn evict_batch(
+        &self,
+        core: CoreId,
+        evictor_id: usize,
+        round: usize,
+        want: usize,
+        sync: bool,
+    ) -> EvictOutcome {
+        if sync {
+            self.stats.sync_evictions.inc();
+        }
+        let (batch, acct_ns) = self.scan_and_unmap(evictor_id, round, want).await;
+        if batch.is_empty() {
+            return EvictOutcome {
+                pages: 0,
+                tlb_ns: 0,
+                acct_ns,
+            };
+        }
+        let tlb_ns = self.flush_batch_sync(core, &batch, sync).await;
+        EvictOutcome {
+            pages: batch.len(),
+            tlb_ns,
+            acct_ns,
+        }
+    }
+}

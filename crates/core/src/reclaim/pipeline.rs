@@ -1,0 +1,183 @@
+//! Background evictor threads: the sequential loop, MAGE's cross-batch
+//! pipelined evictor (P2) and Hermit's feedback-directed scaling
+//! controller.
+//!
+//! The **sequential** evictor (Hermit/DiLOS) performs steps ①–⑦ of §4.1
+//! for one batch before starting the next. The **pipelined** evictor
+//! (MAGE) uses the waiting periods of steps ③ and ⑥ to advance other
+//! batches: up to three batches are in flight, and the evictor's event
+//! loop harvests whichever stage completed first.
+//!
+//! Safety invariant (checked in debug builds in
+//! [`finalize_batch`](super::batch)): a frame is reclaimed only after
+//! every core's TLB entry for the page is gone *and* the page's backend
+//! copy is durable.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use mage_fabric::Completion;
+use mage_mmu::{CoreId, FlushTicket};
+
+use crate::machine::FarMemory;
+use crate::reclaim::batch::EvictPage;
+
+/// In-flight state of a pipelined evictor: the TSB and RSB of §4.1.
+pub(crate) struct Pipeline {
+    /// Batches whose shootdown is in flight (TLB staging buffer).
+    tsb: VecDeque<(Vec<EvictPage>, FlushTicket)>,
+    /// Batches whose writebacks are in flight (RDMA staging buffer).
+    rsb: VecDeque<(Vec<EvictPage>, Option<Completion>)>,
+}
+
+impl Pipeline {
+    pub(crate) fn new() -> Self {
+        Pipeline {
+            tsb: VecDeque::new(),
+            rsb: VecDeque::new(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.tsb.len() + self.rsb.len()
+    }
+
+    /// Pages currently unmapped but not yet reclaimed.
+    fn in_flight_pages(&self) -> usize {
+        self.tsb.iter().map(|(b, _)| b.len()).sum::<usize>()
+            + self.rsb.iter().map(|(b, _)| b.len()).sum::<usize>()
+    }
+}
+
+impl FarMemory {
+    /// Background evictor thread `id`. Only the first
+    /// `active_evictors` threads do work (feedback-directed scaling).
+    pub(crate) async fn evictor_main(self: Rc<Self>, id: usize) {
+        let core = self.evictor_cores[id % self.evictor_cores.len()];
+        let mut round = id; // staggered start (§4.2.2)
+        let mut pipe = Pipeline::new();
+        let idle_ns = self.cfg.costs.evictor_idle_ns;
+        let parked_ns = self.cfg.costs.evictor_parked_ns;
+        loop {
+            if self.stop_flag.get() {
+                break;
+            }
+            if id >= self.active_evictors.get() {
+                self.sim.sleep(parked_ns).await;
+                continue;
+            }
+            let deficit = self.alloc.free_frames() < self.high_watermark;
+            if self.cfg.pipelined_eviction {
+                let progressed = self
+                    .pipeline_step(core, id, &mut round, &mut pipe, deficit)
+                    .await;
+                if !progressed {
+                    self.sim.sleep(idle_ns).await;
+                }
+            } else {
+                if !deficit {
+                    self.sim.sleep(idle_ns).await;
+                    continue;
+                }
+                let outcome = self
+                    .evict_batch(core, id, round, self.cfg.eviction_batch, false)
+                    .await;
+                round += 1;
+                if outcome.pages == 0 {
+                    self.sim.sleep(idle_ns).await;
+                }
+            }
+        }
+    }
+
+    /// Hermit's feedback-directed controller: doubles the evictor pool
+    /// when free pages run low, halves it when pressure subsides.
+    pub(crate) async fn scaling_controller(self: Rc<Self>) {
+        let poll_ns = self.cfg.costs.scaling_poll_ns;
+        loop {
+            if self.stop_flag.get() {
+                break;
+            }
+            self.sim.sleep(poll_ns).await;
+            let free = self.alloc.free_frames();
+            let active = self.active_evictors.get();
+            if free < self.low_watermark && active < self.cfg.max_evictors {
+                self.active_evictors
+                    .set((active * 2).min(self.cfg.max_evictors));
+            } else if free > self.high_watermark && active > self.cfg.evictors {
+                self.active_evictors
+                    .set((active / 2).max(self.cfg.evictors));
+            }
+        }
+    }
+
+    /// One event-loop step of the pipelined evictor. Returns whether any
+    /// stage made progress (if not, the caller idles briefly).
+    pub(crate) async fn pipeline_step(
+        &self,
+        core: CoreId,
+        evictor_id: usize,
+        round: &mut usize,
+        pipe: &mut Pipeline,
+        deficit: bool,
+    ) -> bool {
+        let now = self.sim.now();
+        let mut progressed = false;
+
+        // Step ⑦: harvest write-complete batches from the RSB.
+        while pipe
+            .rsb
+            .front()
+            .is_some_and(|(_, c)| c.as_ref().is_none_or(|c| c.completes_at() <= now))
+        {
+            let (batch, _) = pipe.rsb.pop_front().expect("checked non-empty");
+            self.finalize_batch(core, &batch, false).await;
+            progressed = true;
+        }
+
+        // Steps ④–⑤: move TLB-acked batches from the TSB to the RSB.
+        while pipe.tsb.front().is_some_and(|(_, t)| t.done_at() <= now) {
+            let (batch, _) = pipe.tsb.pop_front().expect("checked non-empty");
+            let completion = self.post_writebacks(&batch).await;
+            pipe.rsb.push_back((batch, completion));
+            progressed = true;
+        }
+
+        // Steps ①–②: start a fresh batch while there is memory pressure
+        // and pipeline capacity (three batches in flight, §4.1). Pace the
+        // refill to the actual free-page deficit: firing the whole
+        // pipeline the instant the watermark is crossed produces periodic
+        // IPI storms that needlessly spike application tail latency.
+        let shortfall = self.high_watermark.saturating_sub(self.alloc.free_frames()) as usize;
+        if deficit && pipe.depth() < 3 && pipe.in_flight_pages() < shortfall {
+            let (batch, _acct) = self
+                .scan_and_unmap(evictor_id, *round, self.cfg.eviction_batch)
+                .await;
+            *round += 1;
+            if !batch.is_empty() {
+                let ticket = self.send_shootdown(core, &batch).await;
+                pipe.tsb.push_back((batch, ticket));
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            // Steps ③/⑥: sleep until the earliest in-flight completion
+            // instead of spinning.
+            let next_tlb = pipe.tsb.front().map(|(_, t)| t.done_at());
+            let next_rdma = pipe
+                .rsb
+                .front()
+                .and_then(|(_, c)| c.as_ref().map(|c| c.completes_at()));
+            let next = match (next_tlb, next_rdma) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            if let Some(t) = next {
+                self.sim.sleep_until(t).await;
+                return true;
+            }
+        }
+        progressed
+    }
+}

@@ -94,6 +94,10 @@ pub struct EngineStats {
     pub eviction_batches: Counter,
     /// Time faulting threads spent waiting for free pages, ns.
     pub free_wait: RefCell<TimeStat>,
+    /// Pages unmapped by the eviction machinery (each later settles as
+    /// exactly one of `evicted_pages`, `sync_evicted_pages` or
+    /// `evict_cancelled_pages`).
+    pub unmapped_pages: Counter,
     /// Faults that cancelled an in-flight eviction of the same page
     /// (swap-cache-refault semantics).
     pub evict_cancels: Counter,
@@ -128,6 +132,7 @@ impl EngineStats {
         self.clean_reclaims.take();
         self.eviction_batches.take();
         *self.free_wait.borrow_mut() = TimeStat::new();
+        self.unmapped_pages.take();
         self.evict_cancels.take();
         self.evict_cancelled_pages.take();
         self.prefetches.take();

@@ -37,12 +37,20 @@ fn main() {
     multilayer.name = "+MultiLayer";
     multilayer.local_alloc = LocalAllocatorKind::MultiLayer;
 
+    // Victim-selection policy swap on the finished system: the aging
+    // CLOCK grants hot pages extra grace rounds (an EvictionPolicy
+    // implementation selected purely through configuration).
+    let mut aging = multilayer
+        .clone()
+        .with_eviction_policy(EvictionPolicyKind::AgingClock { hot_rounds: 3 });
+    aging.name = "+AgingClock";
+
     println!("Technique ablation, random access, {threads} threads, 30% offloaded\n");
     println!(
         "{:<14} {:>10} {:>12} {:>14}",
         "system", "M ops/s", "p99 fault", "sync evicts"
     );
-    for system in [baseline, pipelined, partitioned, multilayer] {
+    for system in [baseline, pipelined, partitioned, multilayer, aging] {
         let name = system.name;
         let mut cfg = RunConfig::new(system, WorkloadKind::RandomGraph, threads, wss, 0.7);
         cfg.ops_per_thread = 6_000;

@@ -47,8 +47,9 @@ pub use mage_workloads as workloads;
 /// The most common imports for running experiments.
 pub mod prelude {
     pub use mage::{
-        Access, CostModel, FarMemory, IdealModel, MachineParams, OsProfile, PrefetchPolicy,
-        SystemConfig,
+        Access, AgingClock, BackendKind, CostModel, DisaggTier, EvictionPolicy,
+        EvictionPolicyKind, FarBackend, FarMemory, Fifo, IdealModel, MachineParams, OsProfile,
+        PrefetchPolicy, RdmaBackend, SecondChance, SystemConfig,
     };
     pub use mage_mmu::{CoreId, Topology};
     pub use mage_sim::{SimHandle, Simulation};

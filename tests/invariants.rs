@@ -49,6 +49,19 @@ fn stress(
         }
     });
     engine.shutdown();
+    // Eviction-stats identity: every unmapped page settles as exactly one
+    // of evicted, sync-evicted or cancelled (pages still in flight at
+    // shutdown account for the difference), and a batch can never observe
+    // more cancellations than faults performed.
+    let s = engine.stats();
+    let settled =
+        s.evicted_pages.get() + s.sync_evicted_pages.get() + s.evict_cancelled_pages.get();
+    assert!(
+        settled <= s.unmapped_pages.get(),
+        "settled {settled} > unmapped {}",
+        s.unmapped_pages.get()
+    );
+    assert!(s.evict_cancelled_pages.get() <= s.evict_cancels.get());
     (
         engine.stats().major_faults.get(),
         engine.stats().evicted_pages.get() + engine.stats().sync_evicted_pages.get(),

@@ -1,0 +1,233 @@
+//! Integration tests for the pluggable trait seams: every
+//! [`EvictionPolicy`] implementation and every [`FarBackend`]
+//! implementation must run the full engine end-to-end while preserving
+//! the safety invariants the default configuration guarantees.
+
+use std::rc::Rc;
+
+use mage_far_memory::engine::backend::{FarBackend, LocalBoxFuture, RdmaBackend};
+use mage_far_memory::engine::reclaim::EvictionPolicy;
+use mage_far_memory::mmu::{PageTable, Topology, Vma};
+use mage_far_memory::prelude::*;
+
+fn launch(system: SystemConfig, seed: u64) -> (Simulation, Rc<FarMemory>, Vma) {
+    let sim = Simulation::new();
+    let params = MachineParams {
+        topo: Topology::single_socket(8),
+        app_threads: 4,
+        local_pages: 512,
+        remote_pages: 4_096,
+        tlb_entries: 64,
+        seed,
+    };
+    let engine = FarMemory::launch(sim.handle(), system, params);
+    let vma = engine.mmap(1_024);
+    engine.populate(&vma);
+    (sim, engine, vma)
+}
+
+/// Two rounds over the working set, forcing heavy eviction traffic.
+fn churn(sim: &Simulation, engine: &Rc<FarMemory>, vma: &Vma) {
+    let e = Rc::clone(engine);
+    let vma = vma.clone();
+    sim.block_on(async move {
+        for round in 0..2 {
+            for i in 0..vma.pages {
+                e.access(CoreId((i % 4) as u32), vma.start_vpn + i, round == 0)
+                    .await;
+            }
+        }
+    });
+    engine.shutdown();
+}
+
+/// The invariants every configuration must uphold after churn: frame
+/// conservation, eviction progress, a consistent stats identity, and no
+/// stale TLB entry for any remote page.
+fn assert_safe(engine: &Rc<FarMemory>, vma: &Vma, label: &str) {
+    let resident = engine.accounting().resident_pages();
+    let free = engine.allocator().free_frames();
+    assert!(
+        resident + free <= 512,
+        "{label}: resident {resident} + free {free} over-commits"
+    );
+    assert!(
+        engine.stats().evicted_pages.get() > 0,
+        "{label}: no eviction progress"
+    );
+    let s = engine.stats();
+    let settled =
+        s.evicted_pages.get() + s.sync_evicted_pages.get() + s.evict_cancelled_pages.get();
+    assert!(
+        settled <= s.unmapped_pages.get(),
+        "{label}: settled {settled} > unmapped {}",
+        s.unmapped_pages.get()
+    );
+    assert!(
+        s.major_faults.get() > vma.pages / 4,
+        "{label}: churn produced too few faults"
+    );
+}
+
+/// Every shipped eviction policy drives the engine end-to-end under the
+/// same seed and upholds the same invariants (policy parity).
+#[test]
+fn every_policy_preserves_invariants() {
+    let policies = [
+        EvictionPolicyKind::SecondChance,
+        EvictionPolicyKind::Fifo,
+        EvictionPolicyKind::AgingClock { hot_rounds: 3 },
+    ];
+    for kind in policies {
+        let system = SystemConfig::mage_lib().with_eviction_policy(kind);
+        let (sim, engine, vma) = launch(system, 21);
+        assert_eq!(engine.eviction_policy().name(), kind.name());
+        churn(&sim, &engine, &vma);
+        assert_safe(&engine, &vma, kind.name());
+        assert_eq!(
+            engine.stats().sync_evictions.get(),
+            0,
+            "{}: MAGE P1 must hold for every policy",
+            kind.name()
+        );
+    }
+}
+
+/// Same seed, same accesses: a policy swap changes *which* pages are
+/// evicted but never the total amount of work the application observes.
+#[test]
+fn policy_swap_conserves_accesses() {
+    let mut totals = Vec::new();
+    for kind in [EvictionPolicyKind::SecondChance, EvictionPolicyKind::Fifo] {
+        let system = SystemConfig::mage_lib().with_eviction_policy(kind);
+        let (sim, engine, vma) = launch(system, 21);
+        churn(&sim, &engine, &vma);
+        totals.push(engine.stats().accesses.get());
+    }
+    assert_eq!(totals[0], totals[1], "access count is policy-independent");
+}
+
+/// Both shipped backends drive the engine end-to-end; the disaggregated
+/// tier additionally must re-write clean pages (pooled slots) and pay the
+/// switch hop on reads.
+#[test]
+fn backend_swap_preserves_invariants() {
+    for (kind, expect_name) in [
+        (BackendKind::Rdma, "rdma"),
+        (BackendKind::DisaggTier { hop_ns: 1_000 }, "disagg-tier"),
+    ] {
+        let system = SystemConfig::mage_lib().with_backend_kind(kind);
+        let (sim, engine, vma) = launch(system, 33);
+        assert_eq!(engine.backend().name(), expect_name);
+        churn(&sim, &engine, &vma);
+        assert_safe(&engine, &vma, expect_name);
+    }
+}
+
+/// The disaggregated tier forces writebacks for clean pages; under the
+/// same run the RDMA direct-map backend reclaims clean pages for free.
+#[test]
+fn disagg_tier_rewrites_clean_pages() {
+    let mut clean_reclaims = Vec::new();
+    for kind in [BackendKind::Rdma, BackendKind::DisaggTier { hop_ns: 500 }] {
+        let system = SystemConfig::mage_lib().with_backend_kind(kind);
+        let (sim, engine, vma) = launch(system, 5);
+        let e = Rc::clone(&engine);
+        sim.block_on(async move {
+            // Read-only traffic: pages stay clean after their first
+            // writeback, so direct mapping can skip re-writing them.
+            for round in 0..3 {
+                let _ = round;
+                for i in 0..vma.pages {
+                    e.access(CoreId((i % 4) as u32), vma.start_vpn + i, false).await;
+                }
+            }
+        });
+        engine.shutdown();
+        clean_reclaims.push(engine.stats().clean_reclaims.get());
+    }
+    assert!(
+        clean_reclaims[0] > 0,
+        "direct mapping must reclaim clean pages without writes"
+    );
+    assert_eq!(
+        clean_reclaims[1], 0,
+        "pooled slots invalidate the old copy: every eviction writes"
+    );
+}
+
+/// A user-supplied backend plugs in through `BackendKind::Custom` with no
+/// engine edits: here, an RDMA backend wrapped with a transfer counter.
+#[test]
+fn custom_backend_plugs_in() {
+    struct CountingBackend {
+        inner: RdmaBackend,
+    }
+
+    impl FarBackend for CountingBackend {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn read_page(&self, bytes: u64) -> mage_far_memory::fabric::Completion {
+            self.inner.read_page(bytes)
+        }
+        fn write_page(&self, bytes: u64) -> mage_far_memory::fabric::Completion {
+            self.inner.write_page(bytes)
+        }
+        fn alloc_slot<'a>(&'a self, direct_rpn: u64) -> LocalBoxFuture<'a, Option<u64>> {
+            self.inner.alloc_slot(direct_rpn)
+        }
+        fn release_slot<'a>(&'a self, rpn: u64) -> LocalBoxFuture<'a, ()> {
+            self.inner.release_slot(rpn)
+        }
+        fn seed_slot(&self, direct_rpn: u64) -> Option<u64> {
+            self.inner.seed_slot(direct_rpn)
+        }
+        fn writes_clean_pages(&self) -> bool {
+            self.inner.writes_clean_pages()
+        }
+        fn link(&self) -> &Rc<mage_far_memory::fabric::Nic> {
+            self.inner.link()
+        }
+        fn node(&self) -> &mage_far_memory::fabric::MemoryNode {
+            self.inner.node()
+        }
+    }
+
+    let system = SystemConfig::mage_lib().with_backend_kind(BackendKind::Custom {
+        name: "counting",
+        build: |sim, cfg, remote_pages| {
+            Box::new(CountingBackend {
+                inner: RdmaBackend::new(sim, cfg, remote_pages),
+            })
+        },
+    });
+    let (sim, engine, vma) = launch(system, 9);
+    assert_eq!(engine.backend().name(), "counting");
+    churn(&sim, &engine, &vma);
+    assert!(engine.nic().stats().reads.get() > 0, "reads flowed through");
+}
+
+/// A user-supplied policy plugs in through `EvictionPolicyKind::Custom`.
+#[test]
+fn custom_policy_plugs_in() {
+    struct EvictEverything;
+    impl EvictionPolicy for EvictEverything {
+        fn name(&self) -> &'static str {
+            "evict-everything"
+        }
+        fn test_and_age(&self, pt: &PageTable, vpn: u64) -> bool {
+            pt.update(vpn, |p| p.with_accessed(false));
+            false
+        }
+    }
+
+    let system = SystemConfig::mage_lib().with_eviction_policy(EvictionPolicyKind::Custom {
+        name: "evict-everything",
+        build: || Box::new(EvictEverything),
+    });
+    let (sim, engine, vma) = launch(system, 13);
+    assert_eq!(engine.eviction_policy().name(), "evict-everything");
+    churn(&sim, &engine, &vma);
+    assert_safe(&engine, &vma, "evict-everything");
+}
