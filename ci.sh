@@ -13,6 +13,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> chaos suite (fault-injection sweep, DESIGN.md §8)"
+cargo test -q --test chaos
+
 echo "==> cargo build --examples"
 cargo build --examples
 

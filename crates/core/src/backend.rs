@@ -100,7 +100,7 @@ impl RdmaBackend {
             ))),
         };
         RdmaBackend {
-            nic: Rc::new(Nic::new(sim, cfg.nic.clone())),
+            nic: Rc::new(Nic::with_faults(sim, cfg.nic.clone(), cfg.faults.clone())),
             node: MemoryNode::new(remote_pages * PAGE_SIZE),
             slots,
         }
@@ -176,7 +176,7 @@ impl DisaggTier {
             ..cfg.nic.clone()
         };
         DisaggTier {
-            nic: Rc::new(Nic::new(sim.clone(), link)),
+            nic: Rc::new(Nic::with_faults(sim.clone(), link, cfg.faults.clone())),
             node: MemoryNode::new(remote_pages * PAGE_SIZE),
             // Pool-side slot table: cheap (the tier's controller owns it),
             // but a real allocation nonetheless.
@@ -267,7 +267,7 @@ mod tests {
         let h = sim.handle();
         let latency = sim.block_on(async move {
             let t0 = h.now();
-            b.read_page(PAGE_SIZE).await;
+            b.read_page(PAGE_SIZE).await.unwrap();
             h.now().saturating_since(t0)
         });
         assert!(

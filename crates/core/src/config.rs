@@ -16,7 +16,7 @@
 //! | virtualized | no (bare metal) | yes | yes | yes |
 
 use mage_accounting::AccountingKind;
-use mage_fabric::NicConfig;
+use mage_fabric::{FaultPlan, NicConfig};
 use mage_mmu::VmaLockModel;
 use mage_palloc::LocalAllocatorKind;
 use mage_sim::time::Nanos;
@@ -25,6 +25,7 @@ use mage_sim::SimHandle;
 use crate::backend::{DisaggTier, FarBackend, RdmaBackend};
 use crate::costs::{CostModel, OsProfile};
 use crate::reclaim::{AgingClock, EvictionPolicy, Fifo, SecondChance};
+use crate::retry::RetryPolicy;
 
 /// Remote-slot allocation policy selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -176,6 +177,11 @@ pub struct SystemConfig {
     pub tlb_coherence: bool,
     /// NIC / link configuration.
     pub nic: NicConfig,
+    /// Deterministic transport-fault schedule ([`FaultPlan::none`] — a
+    /// perfect network — by default).
+    pub faults: FaultPlan,
+    /// Transfer retry/timeout policy for recovering from injected faults.
+    pub retry: RetryPolicy,
     /// Service-time model.
     pub costs: CostModel,
 }
@@ -201,6 +207,8 @@ impl SystemConfig {
             virtualized: true,
             tlb_coherence: true,
             nic: NicConfig::bluefield2_200g(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::unikernel(), true),
         }
     }
@@ -229,6 +237,8 @@ impl SystemConfig {
                 bandwidth_bytes_per_ns: 17.4, // 139 Gbps ceiling (§6.4)
                 ..NicConfig::bluefield2_200g()
             },
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::mage_lnx(), true),
         }
     }
@@ -254,6 +264,8 @@ impl SystemConfig {
             virtualized: false,
             tlb_coherence: true,
             nic: NicConfig::bluefield2_200g(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::linux_bare_metal(), false),
         }
     }
@@ -280,6 +292,8 @@ impl SystemConfig {
             virtualized: true,
             tlb_coherence: true,
             nic: NicConfig::bluefield2_200g(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::unikernel(), true),
         }
     }
@@ -307,6 +321,8 @@ impl SystemConfig {
             virtualized: false,
             tlb_coherence: false,
             nic: NicConfig::bluefield2_200g(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             costs: CostModel::ideal(),
         }
     }
@@ -341,6 +357,19 @@ impl SystemConfig {
     /// Swaps the victim-selection policy.
     pub fn with_eviction_policy(mut self, policy: EvictionPolicyKind) -> Self {
         self.eviction_policy = policy;
+        self
+    }
+
+    /// Installs a deterministic transport-fault schedule on the backend
+    /// link (the degraded-link experiments and the chaos suite).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Overrides the transfer retry/timeout policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -383,8 +412,29 @@ mod tests {
     fn builders_compose() {
         let cfg = SystemConfig::mage_lib()
             .with_prefetch()
-            .with_eviction_batch(128);
+            .with_eviction_batch(128)
+            .with_faults(FaultPlan::degraded_link(3))
+            .with_retry(RetryPolicy {
+                max_retries: 5,
+                ..RetryPolicy::default()
+            });
         assert_eq!(cfg.eviction_batch, 128);
         assert!(matches!(cfg.prefetch, PrefetchPolicy::Readahead { .. }));
+        assert!(cfg.faults.is_active());
+        assert_eq!(cfg.retry.max_retries, 5);
+    }
+
+    #[test]
+    fn presets_default_to_a_perfect_network() {
+        for cfg in [
+            SystemConfig::mage_lib(),
+            SystemConfig::mage_lnx(),
+            SystemConfig::hermit(),
+            SystemConfig::dilos(),
+            SystemConfig::ideal(),
+        ] {
+            assert!(!cfg.faults.is_active(), "{}: faults on by default", cfg.name);
+            assert_eq!(cfg.retry.op_timeout_ns, 0, "{}: timeout on by default", cfg.name);
+        }
     }
 }

@@ -15,6 +15,7 @@ use mage_mmu::{CoreId, Pte, PAGE_SIZE};
 use mage_sim::time::{Nanos, SimTime};
 
 use crate::machine::{Access, FarMemory};
+use crate::retry::{FaultError, TransferOp};
 
 /// Per-fault timing context: component times accumulated while one major
 /// fault traverses `FP₁`–`FP₃`, settled into the breakdown stats exactly
@@ -106,12 +107,16 @@ impl FarMemory {
             self.maybe_prefetch(core, vpn);
             return Access::Minor;
         }
-        let latency = self.fault_in(core, vpn, write).await;
-        Access::Major { latency }
+        match self.fault_in(core, vpn, write).await {
+            Ok(latency) => Access::Major { latency },
+            Err(error) => Access::Failed { error },
+        }
     }
 
-    /// The major-fault path (`FP₁`–`FP₃`).
-    async fn fault_in(&self, core: CoreId, vpn: u64, write: bool) -> Nanos {
+    /// The major-fault path (`FP₁`–`FP₃`). Fails (after the configured
+    /// retries) only on transport errors, with every side effect rolled
+    /// back: the frame freed, the PTE unlocked and still remote.
+    async fn fault_in(&self, core: CoreId, vpn: u64, write: bool) -> Result<Nanos, FaultError> {
         let costs = self.cfg.costs.clone();
         let mut ctx = FaultCtx::enter(self.sim.now());
         self.sim
@@ -136,7 +141,7 @@ impl FarMemory {
                 });
                 self.ic.tlb(core).fill(vpn);
                 self.stats.prefetch_inflight_hits.inc();
-                return ctx.settle_early(self);
+                return Ok(ctx.settle_early(self));
             }
             if pte.locked() {
                 // Refault on a page mid-eviction: cancel the eviction and
@@ -154,7 +159,7 @@ impl FarMemory {
                     self.ic.tlb(core).fill(vpn);
                     self.wake_page(vpn);
                     self.stats.evict_cancels.inc();
-                    return ctx.settle_early(self);
+                    return Ok(ctx.settle_early(self));
                 }
                 self.stats.page_lock_waits.inc();
                 self.wait_for_page(vpn).await;
@@ -206,7 +211,18 @@ impl FarMemory {
         if was_remote {
             let t_r = self.sim.now();
             self.sim.sleep(costs.os.rdma_post_cpu_ns).await;
-            self.backend.read_page(PAGE_SIZE).await;
+            if let Err(err) = self.transfer_with_retry(TransferOp::Read, PAGE_SIZE).await {
+                // Abort the fault: the remote copy is the only copy, so
+                // the PTE stays remote. Unlock it, return the frame and
+                // wake everything that was waiting on this page or on
+                // free memory — nothing leaks, nothing panics.
+                self.pt.unlock(vpn);
+                self.alloc.free_batch(core.index(), &[frame]).await;
+                self.free_waiters.wake_all();
+                self.wake_page(vpn);
+                self.stats.aborted_faults.inc();
+                return Err(err);
+            }
             ctx.rdma_ns = self.sim.now().saturating_since(t_r);
             // Release the backend slot (Linux frees it on swap-in; direct
             // mapping keeps the address-derived slot reserved).
@@ -234,7 +250,7 @@ impl FarMemory {
         // Readahead.
         self.maybe_prefetch(core, vpn);
 
-        ctx.settle(self)
+        Ok(ctx.settle(self))
     }
 }
 

@@ -63,6 +63,7 @@ pub mod ideal;
 pub mod machine;
 mod prefetch;
 pub mod reclaim;
+pub mod retry;
 pub mod stats;
 
 pub use backend::{DisaggTier, FarBackend, LocalBoxFuture, RdmaBackend};
@@ -73,4 +74,5 @@ pub use costs::{CostModel, OsProfile};
 pub use ideal::IdealModel;
 pub use machine::{Access, FarMemory, MachineParams};
 pub use reclaim::{AgingClock, EvictionPolicy, Fifo, SecondChance};
+pub use retry::{FaultError, RetryPolicy, TransferOp};
 pub use stats::{BreakdownMeans, EngineStats};

@@ -32,7 +32,9 @@ use crate::backend::FarBackend;
 use crate::config::SystemConfig;
 use crate::prefetch::StreamDetector;
 use crate::reclaim::EvictionPolicy;
+use crate::retry::FaultError;
 use crate::stats::EngineStats;
+use mage_sim::rng::{mix64, SplitMix64};
 
 /// Machine-level parameters independent of the system design.
 #[derive(Clone, Debug)]
@@ -78,6 +80,12 @@ pub enum Access {
         /// End-to-end fault latency in ns.
         latency: Nanos,
     },
+    /// Major fault aborted: the backend read exhausted its retries. The
+    /// page is still remote and unlocked; the access may be retried.
+    Failed {
+        /// Why the transfer could not be completed.
+        error: FaultError,
+    },
 }
 
 impl Access {
@@ -120,6 +128,9 @@ pub struct FarMemory {
     pub(crate) high_watermark: u64,
     pub(crate) stats: EngineStats,
     pub(crate) prefetchers: RefCell<Vec<StreamDetector>>,
+    /// Jitter stream for retry backoff, derived from the machine seed and
+    /// the fault seed so a (machine, plan) pair replays exactly.
+    pub(crate) retry_rng: SplitMix64,
     pub(crate) self_ref: RefCell<Weak<FarMemory>>,
 }
 
@@ -197,6 +208,7 @@ impl FarMemory {
                     .map(|_| StreamDetector::new())
                     .collect(),
             ),
+            retry_rng: SplitMix64::new(mix64(params.seed ^ mix64(cfg.faults.seed))),
             self_ref: RefCell::new(Weak::new()),
             cfg,
         });
@@ -248,6 +260,11 @@ impl FarMemory {
     /// The interrupt controller (TLBs, IPIs).
     pub fn interrupts(&self) -> &Rc<InterruptController> {
         &self.ic
+    }
+
+    /// The page table (read-only inspection, e.g. residency audits).
+    pub fn page_table(&self) -> &PageTable {
+        &self.pt
     }
 
     /// The local frame allocator.

@@ -123,7 +123,15 @@ impl FarMemory {
             return;
         };
         self.sim.sleep(self.cfg.costs.os.rdma_post_cpu_ns).await;
-        self.backend.read_page(PAGE_SIZE).await;
+        if self.await_op(self.backend.read_page(PAGE_SIZE)).await.is_err() {
+            // Prefetches are speculative: no retries, just roll back and
+            // let a real fault (with its retry budget) fetch the page.
+            self.pt.unlock(vpn);
+            self.wake_page(vpn);
+            self.alloc.free_batch(core.index(), &[frame]).await;
+            self.free_waiters.wake_all();
+            return;
+        }
         self.backend.release_slot(rpn).await;
         self.sim.sleep(self.cfg.costs.os.pte_update_ns).await;
         // Installed with one referenced round (like swap-cache readahead

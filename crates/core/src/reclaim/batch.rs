@@ -5,18 +5,36 @@
 
 use mage_fabric::Completion;
 use mage_mmu::{CoreId, FlushTicket, Pte, PAGE_SIZE};
-use mage_sim::time::Nanos;
+use mage_sim::time::{Nanos, SimTime};
 
 use crate::machine::FarMemory;
 use crate::reclaim::policy::PolicyProbe;
+use crate::retry::TransferOp;
 
 /// One page moving through the eviction pipeline.
+#[derive(Clone, Copy)]
 pub(crate) struct EvictPage {
     pub(crate) vpn: u64,
     pub(crate) frame: u64,
     pub(crate) dirty: bool,
     /// Generation tag matching this page's entry in `FarMemory::evicting`.
     pub(crate) gen: u64,
+}
+
+/// The posted writebacks of one eviction batch, each tagged with its
+/// page's index in the batch so failures map back to their victims.
+pub(crate) struct WritebackSet {
+    completions: Vec<(usize, Completion)>,
+}
+
+impl WritebackSet {
+    /// When every posted write has completed (successfully or not), or
+    /// `None` if the batch was all-clean and posted nothing. Injected
+    /// latency spikes can reorder completions, so this is the maximum
+    /// over the set, not the last posted.
+    pub(crate) fn done_at(&self) -> Option<SimTime> {
+        self.completions.iter().map(|(_, c)| c.completes_at()).max()
+    }
 }
 
 /// Timing contributions of one (possibly synchronous) eviction batch.
@@ -113,18 +131,17 @@ impl FarMemory {
     /// skip the write; backends with per-eviction slot allocation report
     /// [`writes_clean_pages`](crate::backend::FarBackend::writes_clean_pages),
     /// so every page is written.
-    pub(crate) async fn post_writebacks(&self, batch: &[EvictPage]) -> Option<Completion> {
+    pub(crate) async fn post_writebacks(&self, batch: &[EvictPage]) -> WritebackSet {
         let must_write_clean = self.backend.writes_clean_pages();
-        let mut last = None;
-        let mut wrote = 0u64;
-        for page in batch {
+        let mut completions = Vec::new();
+        for (idx, page) in batch.iter().enumerate() {
             if page.dirty || must_write_clean {
-                last = Some(self.backend.write_page(PAGE_SIZE));
-                wrote += 1;
+                completions.push((idx, self.backend.write_page(PAGE_SIZE)));
             } else {
                 self.stats.clean_reclaims.inc();
             }
         }
+        let wrote = completions.len() as u64;
         if wrote > 0 {
             // Doorbell-batched posting cost for the whole group.
             self.sim
@@ -135,7 +152,82 @@ impl FarMemory {
                 .await;
             self.stats.writebacks.add(wrote);
         }
-        last
+        WritebackSet { completions }
+    }
+
+    /// Step ⑥ settlement: inspect the completed writebacks of a batch,
+    /// retry the failed ones, and re-insert victims whose write could not
+    /// be made durable. Returns the pages that may proceed to reclaim.
+    ///
+    /// Must be called only after [`WritebackSet::done_at`]: outcomes are
+    /// read synchronously, so the fault-free path adds no awaits (and no
+    /// schedule perturbation) here.
+    pub(crate) async fn settle_writebacks(
+        &self,
+        core: CoreId,
+        batch: &[EvictPage],
+        wb: &WritebackSet,
+    ) -> Vec<EvictPage> {
+        let mut failed = Vec::new();
+        for (idx, c) in &wb.completions {
+            if let Err(e) = c.outcome() {
+                if self
+                    .retry_transfer(TransferOp::Write, PAGE_SIZE, Err(e))
+                    .await
+                    .is_err()
+                {
+                    failed.push(*idx);
+                }
+            }
+        }
+        if failed.is_empty() {
+            return batch.to_vec();
+        }
+        let mut survivors = Vec::with_capacity(batch.len() - failed.len());
+        for (idx, page) in batch.iter().enumerate() {
+            if failed.contains(&idx) {
+                self.requeue_victim(core, page).await;
+            } else {
+                survivors.push(*page);
+            }
+        }
+        survivors
+    }
+
+    /// Re-inserts a victim whose writeback exhausted its retries: the
+    /// remote copy never became durable, so the frame (still intact —
+    /// reclaim happens strictly after settlement) is re-mapped dirty.
+    /// This reuses the refault-cancellation bookkeeping: the page leaves
+    /// `evicting` under its generation tag, so the settlement identity
+    /// `evicted + sync + cancelled + requeued ≤ unmapped` is preserved.
+    async fn requeue_victim(&self, core: CoreId, page: &EvictPage) {
+        {
+            let mut evicting = self.evicting.borrow_mut();
+            match evicting.get(&page.vpn) {
+                Some(&(_, gen)) if gen == page.gen => {
+                    evicting.remove(&page.vpn);
+                }
+                _ => {
+                    // A concurrent refault already cancelled this eviction
+                    // and owns the frame; nothing left to roll back.
+                    self.stats.evict_cancelled_pages.inc();
+                    return;
+                }
+            }
+        }
+        let pte = self.pt.get(page.vpn);
+        debug_assert!(pte.is_remote() && pte.locked(), "requeue of a settled page");
+        let rpn = pte.payload();
+        self.sim.sleep(self.cfg.costs.os.pte_update_ns).await;
+        // Dirty: the only valid copy is local again.
+        self.pt.set(
+            page.vpn,
+            Pte::present(page.frame).with_accessed(true).with_dirty(true),
+        );
+        self.acct.insert(core.index(), page.vpn).await;
+        self.wake_page(page.vpn);
+        self.backend.release_slot(rpn).await;
+        self.stats.requeued_victims.inc();
     }
 
     /// Step ⑦: reclaim the frames, release the page locks and wake both
@@ -198,10 +290,12 @@ impl FarMemory {
         let ticket = self.send_shootdown(core, batch).await;
         ticket.wait().await;
         let tlb_ns = self.sim.now().saturating_since(t_tlb);
-        if let Some(completion) = self.post_writebacks(batch).await {
-            completion.await;
+        let wb = self.post_writebacks(batch).await;
+        if let Some(done) = wb.done_at() {
+            self.sim.sleep_until(done).await;
         }
-        self.finalize_batch(core, batch, sync).await;
+        let survivors = self.settle_writebacks(core, batch, &wb).await;
+        self.finalize_batch(core, &survivors, sync).await;
         tlb_ns
     }
 

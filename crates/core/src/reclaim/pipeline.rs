@@ -16,18 +16,17 @@
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use mage_fabric::Completion;
 use mage_mmu::{CoreId, FlushTicket};
 
 use crate::machine::FarMemory;
-use crate::reclaim::batch::EvictPage;
+use crate::reclaim::batch::{EvictPage, WritebackSet};
 
 /// In-flight state of a pipelined evictor: the TSB and RSB of §4.1.
 pub(crate) struct Pipeline {
     /// Batches whose shootdown is in flight (TLB staging buffer).
     tsb: VecDeque<(Vec<EvictPage>, FlushTicket)>,
     /// Batches whose writebacks are in flight (RDMA staging buffer).
-    rsb: VecDeque<(Vec<EvictPage>, Option<Completion>)>,
+    rsb: VecDeque<(Vec<EvictPage>, WritebackSet)>,
 }
 
 impl Pipeline {
@@ -124,22 +123,25 @@ impl FarMemory {
         let now = self.sim.now();
         let mut progressed = false;
 
-        // Step ⑦: harvest write-complete batches from the RSB.
+        // Steps ⑥–⑦: settle and harvest write-complete batches from the
+        // RSB (retrying failed writebacks and requeueing victims whose
+        // write could not be made durable).
         while pipe
             .rsb
             .front()
-            .is_some_and(|(_, c)| c.as_ref().is_none_or(|c| c.completes_at() <= now))
+            .is_some_and(|(_, wb)| wb.done_at().is_none_or(|t| t <= now))
         {
-            let (batch, _) = pipe.rsb.pop_front().expect("checked non-empty");
-            self.finalize_batch(core, &batch, false).await;
+            let (batch, wb) = pipe.rsb.pop_front().expect("checked non-empty");
+            let survivors = self.settle_writebacks(core, &batch, &wb).await;
+            self.finalize_batch(core, &survivors, false).await;
             progressed = true;
         }
 
         // Steps ④–⑤: move TLB-acked batches from the TSB to the RSB.
         while pipe.tsb.front().is_some_and(|(_, t)| t.done_at() <= now) {
             let (batch, _) = pipe.tsb.pop_front().expect("checked non-empty");
-            let completion = self.post_writebacks(&batch).await;
-            pipe.rsb.push_back((batch, completion));
+            let wb = self.post_writebacks(&batch).await;
+            pipe.rsb.push_back((batch, wb));
             progressed = true;
         }
 
@@ -165,10 +167,7 @@ impl FarMemory {
             // Steps ③/⑥: sleep until the earliest in-flight completion
             // instead of spinning.
             let next_tlb = pipe.tsb.front().map(|(_, t)| t.done_at());
-            let next_rdma = pipe
-                .rsb
-                .front()
-                .and_then(|(_, c)| c.as_ref().map(|c| c.completes_at()));
+            let next_rdma = pipe.rsb.front().and_then(|(_, wb)| wb.done_at());
             let next = match (next_tlb, next_rdma) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (a, b) => a.or(b),

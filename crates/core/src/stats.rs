@@ -108,6 +108,19 @@ pub struct EngineStats {
     pub prefetches: Counter,
     /// Accesses that hit a page while its prefetch was still in flight.
     pub prefetch_inflight_hits: Counter,
+    /// Transfer attempts re-posted after a transport error or timeout.
+    pub transfer_retries: Counter,
+    /// Transfers that stayed failed after exhausting every retry.
+    pub transfer_failures: Counter,
+    /// Major faults aborted because the fault-in read exhausted retries
+    /// (surfaced as [`Access::Failed`](crate::machine::Access), never as
+    /// a major fault).
+    pub aborted_faults: Counter,
+    /// Eviction victims re-inserted as resident because their writeback
+    /// exhausted retries (the remote copy never became durable).
+    pub requeued_victims: Counter,
+    /// First failure → eventual success latency of recovered transfers, ns.
+    pub retry_latency: Histogram,
 }
 
 impl EngineStats {
@@ -137,6 +150,11 @@ impl EngineStats {
         self.evict_cancelled_pages.take();
         self.prefetches.take();
         self.prefetch_inflight_hits.take();
+        self.transfer_retries.take();
+        self.transfer_failures.take();
+        self.aborted_faults.take();
+        self.requeued_victims.take();
+        self.retry_latency.clear();
     }
 
     /// Records a major fault's total latency and residual component.

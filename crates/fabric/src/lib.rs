@@ -18,8 +18,16 @@
 //! pipelined evictor issue a batch of writes and harvest completions later
 //! (paper §4.1 steps ⑤–⑦).
 
+//!
+//! Transport failure is modeled by an optional deterministic
+//! [`FaultPlan`] ([`Nic::with_faults`]): completions then resolve to
+//! `Result<Nanos, TransferError>` and the engine above decides how to
+//! retry, time out, or degrade.
+
+pub mod faults;
 pub mod link;
 pub mod node;
 
+pub use faults::{FaultInjector, FaultPlan, FaultStats, TransferError};
 pub use link::{Completion, Nic, NicConfig, NicStats};
 pub use node::{MemoryNode, RemoteAddr, RemoteRegion};

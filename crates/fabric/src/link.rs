@@ -7,6 +7,8 @@ use mage_sim::stats::{Counter, Histogram};
 use mage_sim::time::{Nanos, SimTime};
 use mage_sim::SimHandle;
 
+use crate::faults::{FaultInjector, FaultPlan, FaultStats, OpInjection, TransferError};
+
 /// Configuration of a simulated RDMA NIC / link.
 #[derive(Clone, Debug)]
 pub struct NicConfig {
@@ -119,7 +121,7 @@ impl Direction {
 /// let h = sim.handle();
 /// let latency = sim.block_on(async move {
 ///     let t0 = h.now();
-///     n2.post_read(4096).await;
+///     n2.post_read(4096).await.expect("no faults configured");
 ///     h.now() - t0
 /// });
 /// // 3.9 µs base latency + ~171 ns of serialization at 24 B/ns.
@@ -133,17 +135,29 @@ pub struct Nic {
     /// local→remote direction (write data).
     tx: Direction,
     stats: NicStats,
+    /// Fault injection, absent on a perfect link (the default): the
+    /// clean path never consults the plan, so a `FaultPlan::none()`
+    /// schedule is bit-identical to a build without this layer.
+    injector: Option<FaultInjector>,
 }
 
 impl Nic {
-    /// Creates a NIC with the given link configuration.
+    /// Creates a NIC with the given link configuration and no faults.
     pub fn new(sim: SimHandle, config: NicConfig) -> Self {
+        Nic::with_faults(sim, config, FaultPlan::none())
+    }
+
+    /// Creates a NIC that executes `plan` against every posted operation.
+    /// An inactive plan (all rates zero) is dropped entirely.
+    pub fn with_faults(sim: SimHandle, config: NicConfig, plan: FaultPlan) -> Self {
+        let injector = plan.is_active().then(|| FaultInjector::new(plan, 0));
         Nic {
             sim,
             config,
             rx: Direction::new(),
             tx: Direction::new(),
             stats: NicStats::default(),
+            injector,
         }
     }
 
@@ -157,36 +171,85 @@ impl Nic {
         &self.stats
     }
 
-    /// Posts a one-sided RDMA read of `bytes`; the returned completion
-    /// resolves when the data has fully arrived.
-    pub fn post_read(&self, bytes: u64) -> Completion {
-        let now = self.sim.now();
-        let ser = self.config.serialize_ns(bytes);
-        let slot_end = self.rx.reserve(now, ser);
-        let done = slot_end + self.config.base_read_ns;
-        self.stats.reads.inc();
-        self.stats.read_bytes.add(bytes);
-        self.stats.read_latency.record(done - now);
-        Completion {
-            sleep: self.sim.sleep_until(done),
-            at: done,
+    /// Fault-injection counters, if a plan is active.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.injector.as_ref().map(|i| i.stats())
+    }
+
+    /// The active fault injector, if any.
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
+    }
+
+    fn sample(&self, now: SimTime) -> OpInjection {
+        match &self.injector {
+            Some(inj) => inj.sample(now),
+            None => OpInjection::CLEAN,
         }
     }
 
+    /// Posts a one-sided RDMA read of `bytes`; the returned completion
+    /// resolves when the data has fully arrived (or the failure has been
+    /// detected, for injected faults).
+    pub fn post_read(&self, bytes: u64) -> Completion {
+        let now = self.sim.now();
+        let inj = self.sample(now);
+        if inj.node_down {
+            // No bandwidth consumed: the node never answers and the
+            // initiator notices after one base latency.
+            let done = now + self.config.base_read_ns;
+            return Completion::new(
+                self.sim.sleep_until(done),
+                now,
+                done,
+                Err(TransferError::NodeUnreachable),
+            );
+        }
+        let ser = self.config.serialize_ns(bytes).saturating_mul(inj.ser_factor);
+        let slot_end = self.rx.reserve(now, ser);
+        let done = slot_end + self.config.base_read_ns + inj.extra_ns;
+        let result = match inj.error {
+            Some(e) => Err(e),
+            None => {
+                // Only successful transfers count toward throughput and
+                // the latency distribution.
+                self.stats.reads.inc();
+                self.stats.read_bytes.add(bytes);
+                self.stats.read_latency.record(done - now);
+                Ok(())
+            }
+        };
+        Completion::new(self.sim.sleep_until(done), now, done, result)
+    }
+
     /// Posts a one-sided RDMA write of `bytes`; the returned completion
-    /// resolves when the write is acknowledged.
+    /// resolves when the write is acknowledged (or the failure has been
+    /// detected, for injected faults).
     pub fn post_write(&self, bytes: u64) -> Completion {
         let now = self.sim.now();
-        let ser = self.config.serialize_ns(bytes);
-        let slot_end = self.tx.reserve(now, ser);
-        let done = slot_end + self.config.base_write_ns;
-        self.stats.writes.inc();
-        self.stats.write_bytes.add(bytes);
-        self.stats.write_latency.record(done - now);
-        Completion {
-            sleep: self.sim.sleep_until(done),
-            at: done,
+        let inj = self.sample(now);
+        if inj.node_down {
+            let done = now + self.config.base_write_ns;
+            return Completion::new(
+                self.sim.sleep_until(done),
+                now,
+                done,
+                Err(TransferError::NodeUnreachable),
+            );
         }
+        let ser = self.config.serialize_ns(bytes).saturating_mul(inj.ser_factor);
+        let slot_end = self.tx.reserve(now, ser);
+        let done = slot_end + self.config.base_write_ns + inj.extra_ns;
+        let result = match inj.error {
+            Some(e) => Err(e),
+            None => {
+                self.stats.writes.inc();
+                self.stats.write_bytes.add(bytes);
+                self.stats.write_latency.record(done - now);
+                Ok(())
+            }
+        };
+        Completion::new(self.sim.sleep_until(done), now, done, result)
     }
 
     /// Current backlog (ns of queued serialization) on the read direction.
@@ -217,29 +280,52 @@ impl Nic {
 }
 
 /// A pending RDMA completion; awaiting it suspends until the operation's
-/// completion time.
+/// completion time and yields the completion status with the observed
+/// latency.
 pub struct Completion {
     sleep: Sleep,
+    posted: SimTime,
     at: SimTime,
+    result: Result<(), TransferError>,
 }
 
 impl Completion {
+    fn new(sleep: Sleep, posted: SimTime, at: SimTime, result: Result<(), TransferError>) -> Self {
+        Completion {
+            sleep,
+            posted,
+            at,
+            result,
+        }
+    }
+
     /// The (already determined) completion instant.
     pub fn completes_at(&self) -> SimTime {
         self.at
     }
+
+    /// The completion status with post→completion latency, decided at
+    /// post time. Readable synchronously — callers that already know the
+    /// completion instant has passed (pipelined harvest) use this instead
+    /// of awaiting, which keeps the task schedule untouched.
+    pub fn outcome(&self) -> Result<Nanos, TransferError> {
+        self.result.map(|()| self.at.saturating_since(self.posted))
+    }
 }
 
 impl std::future::Future for Completion {
-    type Output = ();
+    type Output = Result<Nanos, TransferError>;
 
     fn poll(
         mut self: std::pin::Pin<&mut Self>,
         cx: &mut std::task::Context<'_>,
-    ) -> std::task::Poll<()> {
+    ) -> std::task::Poll<Self::Output> {
         // `Sleep` is `Unpin`, so `Completion` is too and re-pinning the
         // field is safe-code-only.
-        std::pin::Pin::new(&mut self.sleep).poll(cx)
+        match std::pin::Pin::new(&mut self.sleep).poll(cx) {
+            std::task::Poll::Ready(()) => std::task::Poll::Ready(self.outcome()),
+            std::task::Poll::Pending => std::task::Poll::Pending,
+        }
     }
 }
 
@@ -265,7 +351,7 @@ mod tests {
         let n = Rc::clone(&nic);
         let lat = sim.block_on(async move {
             let t0 = h.now();
-            n.post_read(4096).await;
+            n.post_read(4096).await.unwrap();
             h.now() - t0
         });
         assert_eq!(lat, 1_000 + 1_024);
@@ -280,12 +366,12 @@ mod tests {
         let (n1, n2) = (Rc::clone(&nic), Rc::clone(&nic));
         let h1 = h.clone();
         let j1 = sim.spawn(async move {
-            n1.post_read(4096).await;
+            n1.post_read(4096).await.unwrap();
             h1.now().as_nanos()
         });
         let h2 = h.clone();
         let j2 = sim.spawn(async move {
-            n2.post_read(4096).await;
+            n2.post_read(4096).await.unwrap();
             h2.now().as_nanos()
         });
         let (t1, t2) = sim.block_on(async move { (j1.await, j2.await) });
@@ -301,12 +387,12 @@ mod tests {
         let h = sim.handle();
         let h2 = h.clone();
         let jr = sim.spawn(async move {
-            n1.post_read(4096).await;
+            n1.post_read(4096).await.unwrap();
             h2.now().as_nanos()
         });
         let h3 = h.clone();
         let jw = sim.spawn(async move {
-            n2.post_write(4096).await;
+            n2.post_write(4096).await.unwrap();
             h3.now().as_nanos()
         });
         let (tr, tw) = sim.block_on(async move { (jr.await, jw.await) });
@@ -326,7 +412,7 @@ mod tests {
             // Issue 100 back-to-back page reads.
             let completions: Vec<_> = (0..100).map(|_| n.post_read(4096)).collect();
             for c in completions {
-                c.await;
+                c.await.unwrap();
             }
             h.now() - t0
         });
@@ -346,7 +432,7 @@ mod tests {
             let c = n.post_write(4096);
             let predicted = c.completes_at();
             h.sleep(10).await; // do other work first
-            c.await;
+            c.await.unwrap();
             assert_eq!(h.now(), predicted);
         });
     }
@@ -373,7 +459,7 @@ mod tests {
         sim.block_on(async move {
             let completions: Vec<_> = (0..32).map(|_| n.post_read(4096)).collect();
             for c in completions {
-                c.await;
+                c.await.unwrap();
             }
             let elapsed = h.now().as_nanos();
             let gbps = n.read_gbps(elapsed);
@@ -381,5 +467,83 @@ mod tests {
             // achieved figure must be slightly below the ceiling.
             assert!(gbps > 25.0 && gbps < 32.0, "gbps {gbps}");
         });
+    }
+
+    #[test]
+    fn errored_op_consumes_wire_time_but_not_stats() {
+        // error_rate 1.0: every op fails with a CQE error yet still holds
+        // its serialization slot (the data crossed the wire; only the
+        // completion status is bad).
+        let plan = FaultPlan {
+            seed: 1,
+            error_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let sim = Simulation::new();
+        let nic = Rc::new(Nic::with_faults(sim.handle(), fast_cfg(), plan));
+        let n = Rc::clone(&nic);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let c1 = n.post_read(4096);
+            let c2 = n.post_read(4096);
+            assert_eq!(c2.completes_at() - c1.completes_at(), 1_024);
+            assert_eq!(c1.await, Err(TransferError::Cq));
+            let err = c2.await.unwrap_err();
+            assert_eq!(err, TransferError::Cq);
+            assert_eq!(h.now().as_nanos(), 2 * 1_024 + 1_000);
+        });
+        assert_eq!(nic.stats().reads.get(), 0, "errored ops don't count");
+        assert_eq!(nic.fault_stats().unwrap().injected_errors.get(), 2);
+    }
+
+    #[test]
+    fn crashed_node_fails_fast_without_bandwidth() {
+        let plan = FaultPlan {
+            seed: 1,
+            crash_period_ns: 1_000_000,
+            crash_duration_ns: 1_000_000,
+            crash_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let sim = Simulation::new();
+        let nic = Rc::new(Nic::with_faults(sim.handle(), fast_cfg(), plan));
+        let n = Rc::clone(&nic);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let c = n.post_write(4096);
+            assert_eq!(n.write_backlog_ns(), 0, "no serialization reserved");
+            assert_eq!(c.await, Err(TransferError::NodeUnreachable));
+            // Detection after exactly one base write latency.
+            assert_eq!(h.now().as_nanos(), 2_000);
+        });
+    }
+
+    #[test]
+    fn brownout_stretches_serialization() {
+        let plan = FaultPlan {
+            seed: 5,
+            brownout_period_ns: 1_000_000,
+            brownout_duration_ns: 1_000_000,
+            brownout_rate: 1.0,
+            brownout_bw_div: 4,
+            ..FaultPlan::none()
+        };
+        let sim = Simulation::new();
+        let nic = Rc::new(Nic::with_faults(sim.handle(), fast_cfg(), plan));
+        let n = Rc::clone(&nic);
+        sim.block_on(async move {
+            let lat = n.post_read(4096).await.unwrap();
+            // 4× the 1 024 ns serialization plus base latency.
+            assert_eq!(lat, 4 * 1_024 + 1_000);
+        });
+        assert_eq!(nic.fault_stats().unwrap().brownout_ops.get(), 1);
+    }
+
+    #[test]
+    fn zero_fault_nic_has_no_injector() {
+        let sim = Simulation::new();
+        let nic = Nic::with_faults(sim.handle(), fast_cfg(), FaultPlan::none());
+        assert!(nic.injector().is_none());
+        assert!(nic.fault_stats().is_none());
     }
 }

@@ -40,7 +40,7 @@ fn burst_is_serialized_exactly() {
         // Await them all; the simulation must end at the last completion.
         sim.block_on(async move {
             for c in completions {
-                c.await;
+                c.await.unwrap();
             }
         });
         assert_eq!(sim.handle().now().as_nanos(), last);

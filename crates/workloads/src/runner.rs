@@ -133,6 +133,14 @@ pub struct RunReport {
     pub free_wait_count: u64,
     /// Mean free-page wait, ns.
     pub free_wait_mean_ns: f64,
+    /// RDMA transfers re-posted after an injected fault.
+    pub transfer_retries: u64,
+    /// Transfers that exhausted the retry budget.
+    pub transfer_failures: u64,
+    /// Fault-ins aborted after retry exhaustion.
+    pub aborted_faults: u64,
+    /// Eviction victims re-inserted after a failed writeback.
+    pub requeued_victims: u64,
 }
 
 impl RunReport {
@@ -349,6 +357,10 @@ fn report_from(
         evict_cancels: s.evict_cancels.get(),
         free_wait_count: free_wait.count(),
         free_wait_mean_ns: free_wait.mean(),
+        transfer_retries: s.transfer_retries.get(),
+        transfer_failures: s.transfer_failures.get(),
+        aborted_faults: s.aborted_faults.get(),
+        requeued_victims: s.requeued_victims.get(),
     }
 }
 
@@ -481,7 +493,7 @@ pub fn run_raw_rdma(rate_mops: f64, duration_ns: Nanos, seed: u64) -> OpenLoopRe
         let h = sim.handle();
         sim.spawn(async move {
             while h.now().as_nanos() < duration_ns {
-                nic.post_write(4096).await;
+                let _ = nic.post_write(4096).await;
             }
         });
     }
@@ -503,7 +515,7 @@ pub fn run_raw_rdma(rate_mops: f64, duration_ns: Nanos, seed: u64) -> OpenLoopRe
             let h2 = h.clone();
             h.spawn(async move {
                 let t0 = h2.now();
-                nic.post_read(4096).await;
+                let _ = nic.post_read(4096).await;
                 lat.record(h2.now() - t0);
                 comp.inc();
             });

@@ -48,9 +48,11 @@ pub use mage_workloads as workloads;
 pub mod prelude {
     pub use mage::{
         Access, AgingClock, BackendKind, CostModel, DisaggTier, EvictionPolicy,
-        EvictionPolicyKind, FarBackend, FarMemory, Fifo, IdealModel, MachineParams, OsProfile,
-        PrefetchPolicy, RdmaBackend, SecondChance, SystemConfig,
+        EvictionPolicyKind, FarBackend, FarMemory, FaultError, Fifo, IdealModel, MachineParams,
+        OsProfile, PrefetchPolicy, RdmaBackend, RetryPolicy, SecondChance, SystemConfig,
+        TransferOp,
     };
+    pub use mage_fabric::{FaultPlan, TransferError};
     pub use mage_mmu::{CoreId, Topology};
     pub use mage_sim::{SimHandle, Simulation};
     pub use mage_workloads::memcached::{run_memcached, MemcachedConfig, MemcachedReport};

@@ -4,7 +4,8 @@
 //! whole evaluation rests on (and the one simlint + the deterministic
 //! executor exist to protect).
 
-use mage::{PrefetchPolicy, SystemConfig};
+use mage::{PrefetchPolicy, RetryPolicy, SystemConfig};
+use mage_fabric::FaultPlan;
 use mage_workloads::runner::{run_batch, RunConfig, RunReport};
 use mage_workloads::WorkloadKind;
 
@@ -29,6 +30,10 @@ fn digest(r: &RunReport) -> Vec<u64> {
         r.evict_cancels,
         r.free_wait_count,
         r.free_wait_mean_ns.to_bits(),
+        r.transfer_retries,
+        r.transfer_failures,
+        r.aborted_faults,
+        r.requeued_victims,
     ];
     d.extend(r.faults_per_thread.iter().copied());
     d.extend(r.timeline.iter().flat_map(|&(t, v)| [t, v]));
@@ -81,6 +86,60 @@ fn different_seeds_differ() {
     let a = sweep(1);
     let b = sweep(2);
     assert_ne!(a, b, "different seeds must perturb the statistics");
+}
+
+/// One faulty-link sweep: two systems under a degraded link plus a
+/// crash-window plan, folded into a digest. The fault plan's own seed is
+/// a parameter so both halves of the determinism contract can be pinned.
+fn faulty_sweep(fault_seed: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for system in [SystemConfig::mage_lib(), SystemConfig::hermit()] {
+        for plan in [
+            FaultPlan::degraded_link(fault_seed),
+            FaultPlan {
+                seed: fault_seed,
+                error_rate: 0.2,
+                crash_period_ns: 500_000,
+                crash_duration_ns: 50_000,
+                crash_rate: 0.5,
+                ..FaultPlan::none()
+            },
+        ] {
+            let mut s = system.clone().with_faults(plan).with_retry(RetryPolicy {
+                max_retries: 3,
+                ..RetryPolicy::default()
+            });
+            s.prefetch = PrefetchPolicy::None;
+            let mut cfg = RunConfig::new(s, WorkloadKind::Gups, 2, 2048, 0.5);
+            cfg.ops_per_thread = 500;
+            cfg.seed = 13;
+            out.extend(digest(&run_batch(&cfg)));
+        }
+    }
+    out
+}
+
+#[test]
+fn same_fault_plan_is_bit_identical() {
+    // Injected errors, spikes, brownouts and crash windows must all be
+    // functions of the fault seed alone: the whole chaos methodology
+    // (replay a failing seed) rests on this.
+    let a = faulty_sweep(0xFA417);
+    let b = faulty_sweep(0xFA417);
+    assert_eq!(
+        a, b,
+        "same fault seed must reproduce every statistic bit-for-bit"
+    );
+}
+
+#[test]
+fn different_fault_seeds_diverge() {
+    // The injector must actually consume its seed: identical digests
+    // under different fault seeds would mean faults are not injected or
+    // not seeded.
+    let a = faulty_sweep(0xFA417);
+    let b = faulty_sweep(0xFA418);
+    assert_ne!(a, b, "different fault seeds must perturb the statistics");
 }
 
 #[test]

@@ -208,6 +208,67 @@ fn custom_backend_plugs_in() {
     assert!(engine.nic().stats().reads.get() > 0, "reads flowed through");
 }
 
+/// Zero-fault parity: with the default `FaultPlan::none()` the fault
+/// layer must be bit-invisible — these golden statistics were captured
+/// before the fault-injection layer existed, and the default
+/// configuration must still reproduce them exactly. Any drift means the
+/// clean path now consumes RNG draws, schedules extra events, or awaits
+/// differently than it used to.
+#[test]
+fn zero_fault_path_matches_pre_fault_layer_golden_values() {
+    use mage_far_memory::workloads::runner::{run_batch, RunConfig};
+    use mage_far_memory::workloads::WorkloadKind;
+
+    let mut a = RunConfig::new(SystemConfig::mage_lib(), WorkloadKind::SeqFault, 2, 2048, 0.5);
+    a.all_remote = true;
+    a.ops_per_thread = 1024;
+    a.seed = 0xA11CE;
+    let ra = run_batch(&a);
+    let got_a = (
+        ra.runtime_ns,
+        ra.total_ops,
+        ra.major_faults,
+        ra.fault_p50_ns,
+        ra.fault_p99_ns,
+        ra.evicted_pages,
+        ra.sync_evictions,
+        ra.evict_cancels,
+        ra.fault_mean_ns.to_bits(),
+    );
+    assert_eq!(
+        got_a,
+        (5_396_662, 2_048, 2_048, 5_119, 9_471, 1_964, 0, 0, 4_662_422_839_683_448_832),
+        "mage_lib/SeqFault drifted from the pre-fault-layer schedule"
+    );
+
+    let mut b = RunConfig::new(SystemConfig::hermit(), WorkloadKind::Gups, 4, 2048, 0.5);
+    b.ops_per_thread = 500;
+    b.seed = 7;
+    let rb = run_batch(&b);
+    let got_b = (
+        rb.runtime_ns,
+        rb.total_ops,
+        rb.major_faults,
+        rb.fault_p50_ns,
+        rb.fault_p99_ns,
+        rb.evicted_pages,
+        rb.sync_evictions,
+        rb.evict_cancels,
+        rb.fault_mean_ns.to_bits(),
+    );
+    assert_eq!(
+        got_b,
+        (1_110_675, 2_000, 521, 7_807, 15_359, 410, 0, 101, 4_664_748_314_519_089_569),
+        "hermit/Gups drifted from the pre-fault-layer schedule"
+    );
+
+    // And the fault-layer counters must read zero on a clean link.
+    assert_eq!(ra.transfer_retries + rb.transfer_retries, 0);
+    assert_eq!(ra.transfer_failures + rb.transfer_failures, 0);
+    assert_eq!(ra.aborted_faults + rb.aborted_faults, 0);
+    assert_eq!(ra.requeued_victims + rb.requeued_victims, 0);
+}
+
 /// A user-supplied policy plugs in through `EvictionPolicyKind::Custom`.
 #[test]
 fn custom_policy_plugs_in() {
