@@ -16,6 +16,9 @@ cargo test --workspace -q
 echo "==> chaos suite (fault-injection sweep, DESIGN.md §8)"
 cargo test -q --test chaos
 
+echo "==> mage-check smoke (schedule exploration + oracle, DESIGN.md §9)"
+cargo test -q --test check_explore
+
 echo "==> cargo build --examples"
 cargo build --examples
 

@@ -13,6 +13,7 @@ use std::time::Instant;
 use mage_bench::Experiment;
 use mage_mmu::{PageTable, Pte, Tlb};
 use mage_palloc::BuddyAllocator;
+use mage_sim::rng::mix64;
 use mage_sim::stats::Histogram;
 
 const ITERS: u64 = 200_000;
@@ -85,7 +86,7 @@ fn main() {
 
     let h = Histogram::new();
     let ns = best_ns_per_iter(|i| {
-        let v = i.wrapping_mul(6364136223846793005).wrapping_add(1) >> 34;
+        let v = mix64(i) >> 34;
         h.record(std::hint::black_box(v.max(1)));
     });
     exp.row(vec!["histogram_record".into(), format!("{ns:.1}")]);

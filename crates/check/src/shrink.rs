@@ -1,0 +1,196 @@
+//! Failing-case shrinking: reduce a failing cell to a minimal
+//! reproducer.
+//!
+//! Given a [`Cell`] whose run violates an invariant, the shrinker
+//! minimizes each dimension greedily, to a fixpoint, under a total run
+//! budget (delta-debugging style, one dimension at a time):
+//!
+//! - **plan** — the smallest fault-plan family index that still fails
+//!   (ideally 0, the clean link: schedule-only bugs need no faults);
+//! - **threads** — the smallest thread count that still fails (a
+//!   1-thread reproducer rules out interleaving entirely);
+//! - **ops** — halved while the failure persists;
+//! - **seed** — the smallest canonical seed (0..8) that still fails.
+//!
+//! Every accepted step strictly decreases a dimension, so the fixpoint
+//! terminates even without the budget. The result's
+//! [`repro_line`](Cell::repro_line) is a one-line shell command that
+//! replays the shrunk cell exactly.
+
+use crate::{run_cell, Cell, CheckOptions, Violation};
+
+/// Outcome of a shrink: the minimal failing cell, the violation it
+/// produces, and how many candidate runs were spent.
+#[derive(Clone, Debug)]
+pub struct ShrinkResult {
+    /// The minimized failing cell.
+    pub cell: Cell,
+    /// The violation the minimized cell produces.
+    pub violation: Violation,
+    /// Candidate runs performed (including the initial confirmation).
+    pub runs: usize,
+}
+
+/// Shrinks `failing` against the real harness ([`run_cell`] under
+/// `opts`), spending at most `budget` candidate runs.
+///
+/// # Panics
+///
+/// Panics if `failing` does not actually fail under `opts`.
+pub fn shrink(failing: &Cell, opts: &CheckOptions, budget: usize) -> ShrinkResult {
+    shrink_with(failing, budget, &mut |c| run_cell(c, opts).err())
+}
+
+/// Shrinks `failing` against an arbitrary oracle: `oracle(cell)` returns
+/// the violation if the cell fails, `None` if it passes. Factored out so
+/// the minimization logic is testable without running simulations.
+///
+/// # Panics
+///
+/// Panics if the oracle passes on `failing` itself.
+pub fn shrink_with(
+    failing: &Cell,
+    budget: usize,
+    oracle: &mut dyn FnMut(&Cell) -> Option<Violation>,
+) -> ShrinkResult {
+    let mut runs = 1usize;
+    let mut best = failing.clone();
+    let mut violation = oracle(&best).expect("shrink called on a passing cell");
+
+    loop {
+        let before = best.clone();
+
+        // Dimension 1: fault-plan family, smallest index first.
+        for plan in 0..best.plan {
+            if runs >= budget {
+                break;
+            }
+            let cand = Cell { plan, ..best.clone() };
+            runs += 1;
+            if let Some(v) = oracle(&cand) {
+                best = cand;
+                violation = v;
+                break;
+            }
+        }
+
+        // Dimension 2: thread count, from one up.
+        for threads in 1..best.threads {
+            if runs >= budget {
+                break;
+            }
+            let cand = Cell {
+                threads,
+                ..best.clone()
+            };
+            runs += 1;
+            if let Some(v) = oracle(&cand) {
+                best = cand;
+                violation = v;
+                break;
+            }
+        }
+
+        // Dimension 3: per-thread ops, halved while it keeps failing.
+        while best.ops > 1 && runs < budget {
+            let cand = Cell {
+                ops: best.ops / 2,
+                ..best.clone()
+            };
+            runs += 1;
+            match oracle(&cand) {
+                Some(v) => {
+                    best = cand;
+                    violation = v;
+                }
+                None => break,
+            }
+        }
+
+        // Dimension 4: canonical seed, smallest of 0..8 that fails.
+        for seed in 0..8u64 {
+            if seed >= best.seed || runs >= budget {
+                break;
+            }
+            let cand = Cell { seed, ..best.clone() };
+            runs += 1;
+            if let Some(v) = oracle(&cand) {
+                best = cand;
+                violation = v;
+                break;
+            }
+        }
+
+        if best == before || runs >= budget {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        cell: best,
+        violation,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PolicyKind;
+
+    fn cell(seed: u64, plan: usize, ops: u64, threads: usize) -> Cell {
+        Cell {
+            seed,
+            plan,
+            ops,
+            threads,
+            policy: PolicyKind::SeededRandom,
+        }
+    }
+
+    /// Synthetic bug: fails whenever ops ≥ 7, regardless of the rest.
+    fn ops_oracle(c: &Cell) -> Option<Violation> {
+        (c.ops >= 7).then_some(Violation::LostPage { vpn: c.ops })
+    }
+
+    #[test]
+    fn shrinks_every_dimension_to_a_fixpoint() {
+        let start = cell(41, 3, 512, 4);
+        let r = shrink_with(&start, 256, &mut ops_oracle);
+        // Halving from 512 lands on 8 (the smallest power of two ≥ 7);
+        // every other dimension collapses to its floor.
+        assert_eq!(r.cell.ops, 8);
+        assert_eq!(r.cell.plan, 0);
+        assert_eq!(r.cell.threads, 1);
+        assert_eq!(r.cell.seed, 0);
+        assert!(ops_oracle(&r.cell).is_some(), "shrunk cell must still fail");
+        assert!(r.runs <= 256);
+    }
+
+    #[test]
+    fn respects_the_run_budget() {
+        let start = cell(99, 4, 1 << 20, 8);
+        let r = shrink_with(&start, 5, &mut ops_oracle);
+        assert!(r.runs <= 5);
+        assert!(ops_oracle(&r.cell).is_some(), "result must still fail");
+    }
+
+    #[test]
+    fn keeps_dimensions_the_bug_depends_on() {
+        // Fails only with ≥ 2 threads and the error-heavy plan family.
+        let mut oracle = |c: &Cell| {
+            (c.threads >= 2 && c.plan == 2).then_some(Violation::LostPage { vpn: 0 })
+        };
+        let r = shrink_with(&cell(7, 2, 64, 6), 128, &mut oracle);
+        assert_eq!(r.cell.threads, 2);
+        assert_eq!(r.cell.plan, 2);
+        assert_eq!(r.cell.ops, 1, "ops is irrelevant to this bug");
+        assert_eq!(r.cell.seed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "passing cell")]
+    fn refuses_a_passing_cell() {
+        shrink_with(&cell(1, 0, 1, 1), 16, &mut |_| None);
+    }
+}

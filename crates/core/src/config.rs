@@ -184,6 +184,13 @@ pub struct SystemConfig {
     pub retry: RetryPolicy,
     /// Service-time model.
     pub costs: CostModel,
+    /// Test-only fault: resurrect the historical finalize-batch counting
+    /// bug (evicted pages double-counted), violating the settlement
+    /// identity `evicted + sync + cancelled + requeued ≤ unmapped`. Used
+    /// by the mage-check harness to prove its oracle catches and shrinks
+    /// a real, historically observed bug class. Never set in presets.
+    #[doc(hidden)]
+    pub break_settlement: bool,
 }
 
 impl SystemConfig {
@@ -208,6 +215,7 @@ impl SystemConfig {
             tlb_coherence: true,
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
+            break_settlement: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::unikernel(), true),
         }
@@ -238,6 +246,7 @@ impl SystemConfig {
                 ..NicConfig::bluefield2_200g()
             },
             faults: FaultPlan::none(),
+            break_settlement: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::mage_lnx(), true),
         }
@@ -265,6 +274,7 @@ impl SystemConfig {
             tlb_coherence: true,
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
+            break_settlement: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::linux_bare_metal(), false),
         }
@@ -293,6 +303,7 @@ impl SystemConfig {
             tlb_coherence: true,
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
+            break_settlement: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::unikernel(), true),
         }
@@ -322,6 +333,7 @@ impl SystemConfig {
             tlb_coherence: false,
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
+            break_settlement: false,
             retry: RetryPolicy::default(),
             costs: CostModel::ideal(),
         }
@@ -370,6 +382,15 @@ impl SystemConfig {
     /// Overrides the transfer retry/timeout policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Test-only: deliberately breaks the settlement-identity accounting
+    /// (see [`SystemConfig::break_settlement`]). For the mage-check
+    /// oracle tests; never use in experiments.
+    #[doc(hidden)]
+    pub fn with_broken_settlement(mut self) -> Self {
+        self.break_settlement = true;
         self
     }
 }

@@ -14,6 +14,7 @@
 use mage_mmu::{CoreId, Pte, PAGE_SIZE};
 use mage_sim::time::{Nanos, SimTime};
 
+use crate::events::PageEvent;
 use crate::machine::{Access, FarMemory};
 use crate::retry::{FaultError, TransferOp};
 
@@ -159,6 +160,7 @@ impl FarMemory {
                     self.ic.tlb(core).fill(vpn);
                     self.wake_page(vpn);
                     self.stats.evict_cancels.inc();
+                    self.emit(PageEvent::EvictCancelled { vpn, frame });
                     return Ok(ctx.settle_early(self));
                 }
                 self.stats.page_lock_waits.inc();
@@ -167,6 +169,7 @@ impl FarMemory {
             }
             let locked = self.pt.try_lock(vpn);
             debug_assert!(locked, "PTE lock raced on a single-threaded executor");
+            self.emit(PageEvent::FetchStart { vpn });
             break;
         }
         let pte = self.pt.get(vpn);
@@ -221,6 +224,7 @@ impl FarMemory {
                 self.free_waiters.wake_all();
                 self.wake_page(vpn);
                 self.stats.aborted_faults.inc();
+                self.emit(PageEvent::FetchAborted { vpn });
                 return Err(err);
             }
             ctx.rdma_ns = self.sim.now().saturating_since(t_r);
@@ -241,6 +245,7 @@ impl FarMemory {
                 .with_accessed(true)
                 .with_dirty(write || !was_remote),
         );
+        self.emit(PageEvent::Installed { vpn, frame });
         let t_a = self.sim.now();
         self.acct.insert(core.index(), vpn).await;
         ctx.acct_ns = self.sim.now().saturating_since(t_a) + ctx.sync_acct_ns;

@@ -58,6 +58,7 @@
 pub mod backend;
 pub mod config;
 pub mod costs;
+pub mod events;
 pub mod fault;
 pub mod ideal;
 pub mod machine;
@@ -71,6 +72,7 @@ pub use config::{
     BackendKind, EvictionPolicyKind, PrefetchPolicy, RemoteAllocKind, SystemConfig,
 };
 pub use costs::{CostModel, OsProfile};
+pub use events::{EventSink, PageEvent};
 pub use ideal::IdealModel;
 pub use machine::{Access, FarMemory, MachineParams};
 pub use reclaim::{AgingClock, EvictionPolicy, Fifo, SecondChance};

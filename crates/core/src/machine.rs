@@ -30,11 +30,12 @@ use mage_sim::SimHandle;
 
 use crate::backend::FarBackend;
 use crate::config::SystemConfig;
+use crate::events::{EventSink, EventTap, PageEvent};
 use crate::prefetch::StreamDetector;
 use crate::reclaim::EvictionPolicy;
 use crate::retry::FaultError;
 use crate::stats::EngineStats;
-use mage_sim::rng::{mix64, SplitMix64};
+use mage_sim::rng::{self, SplitMix64};
 
 /// Machine-level parameters independent of the system design.
 #[derive(Clone, Debug)]
@@ -131,6 +132,9 @@ pub struct FarMemory {
     /// Jitter stream for retry backoff, derived from the machine seed and
     /// the fault seed so a (machine, plan) pair replays exactly.
     pub(crate) retry_rng: SplitMix64,
+    /// Page-lifecycle event tap (see [`crate::events`]); empty by
+    /// default, in which case every emission site is a no-op.
+    pub(crate) events: EventTap,
     pub(crate) self_ref: RefCell<Weak<FarMemory>>,
 }
 
@@ -208,7 +212,8 @@ impl FarMemory {
                     .map(|_| StreamDetector::new())
                     .collect(),
             ),
-            retry_rng: SplitMix64::new(mix64(params.seed ^ mix64(cfg.faults.seed))),
+            retry_rng: rng::stream(params.seed, cfg.faults.seed),
+            events: EventTap::default(),
             self_ref: RefCell::new(Weak::new()),
             cfg,
         });
@@ -292,6 +297,22 @@ impl FarMemory {
         self.high_watermark
     }
 
+    /// Registers an observer on the page-lifecycle event stream (see
+    /// [`crate::events`]). Sinks see every transition synchronously, in
+    /// program order; with no sink registered the tap costs one branch
+    /// per site and perturbs nothing.
+    pub fn tap_events(&self, sink: Rc<dyn EventSink>) {
+        self.events.register(sink);
+    }
+
+    /// Emits a page-lifecycle event to the registered sinks, if any.
+    #[inline]
+    pub(crate) fn emit(&self, event: PageEvent) {
+        if !self.events.is_empty() {
+            self.events.emit(event);
+        }
+    }
+
     /// Signals the background threads to exit.
     pub fn shutdown(&self) {
         self.stop_flag.set(true);
@@ -329,6 +350,7 @@ impl FarMemory {
                 // exists yet.
                 self.pt.set(vpn, Pte::present(frame).with_dirty(true));
                 self.acct.seed(core, vpn);
+                self.emit(PageEvent::Placed { vpn, local: true });
                 core = (core + 1) % self.app_cores.len().max(1);
             } else {
                 let rpn = self
@@ -336,6 +358,7 @@ impl FarMemory {
                     .seed_slot(vma.remote_page(vpn))
                     .expect("backend capacity exceeded");
                 self.pt.set(vpn, Pte::remote(rpn));
+                self.emit(PageEvent::Placed { vpn, local: false });
             }
         }
     }
@@ -353,6 +376,7 @@ impl FarMemory {
                 .seed_slot(vma.remote_page(vpn))
                 .expect("backend capacity exceeded");
             self.pt.set(vpn, Pte::remote(rpn));
+            self.emit(PageEvent::Placed { vpn, local: false });
         }
     }
 

@@ -14,6 +14,7 @@ use std::rc::Rc;
 use mage_mmu::{CoreId, Pte, PAGE_SIZE};
 
 use crate::config::PrefetchPolicy;
+use crate::events::PageEvent;
 use crate::machine::FarMemory;
 
 /// Per-core sequential-stream detector.
@@ -116,10 +117,12 @@ impl FarMemory {
         if !self.pt.try_lock(vpn) {
             return;
         }
+        self.emit(PageEvent::FetchStart { vpn });
         let rpn = pte.payload();
         let Some(frame) = self.alloc.alloc(core.index()).await else {
             self.pt.unlock(vpn);
             self.wake_page(vpn);
+            self.emit(PageEvent::FetchAborted { vpn });
             return;
         };
         self.sim.sleep(self.cfg.costs.os.rdma_post_cpu_ns).await;
@@ -130,6 +133,7 @@ impl FarMemory {
             self.wake_page(vpn);
             self.alloc.free_batch(core.index(), &[frame]).await;
             self.free_waiters.wake_all();
+            self.emit(PageEvent::FetchAborted { vpn });
             return;
         }
         self.backend.release_slot(rpn).await;
@@ -138,6 +142,7 @@ impl FarMemory {
         // pages): enough grace not to be reclaimed before first touch,
         // while a wrong guess still ages out on the next scan.
         self.pt.set(vpn, Pte::present(frame).with_accessed(true));
+        self.emit(PageEvent::Installed { vpn, frame });
         self.acct.insert(core.index(), vpn).await;
         self.wake_page(vpn);
         self.stats.prefetches.inc();

@@ -7,6 +7,7 @@ use mage_fabric::Completion;
 use mage_mmu::{CoreId, FlushTicket, Pte, PAGE_SIZE};
 use mage_sim::time::{Nanos, SimTime};
 
+use crate::events::PageEvent;
 use crate::machine::FarMemory;
 use crate::reclaim::policy::PolicyProbe;
 use crate::retry::TransferOp;
@@ -81,6 +82,7 @@ impl FarMemory {
         self.evict_gen.set(gen + 1);
         self.evicting.borrow_mut().insert(vpn, (frame, gen));
         self.stats.unmapped_pages.inc();
+        self.emit(PageEvent::Unmapped { vpn, frame });
         Some(EvictPage {
             vpn,
             frame,
@@ -228,6 +230,10 @@ impl FarMemory {
         self.wake_page(page.vpn);
         self.backend.release_slot(rpn).await;
         self.stats.requeued_victims.inc();
+        self.emit(PageEvent::Requeued {
+            vpn: page.vpn,
+            frame: page.frame,
+        });
     }
 
     /// Step ⑦: reclaim the frames, release the page locks and wake both
@@ -267,6 +273,10 @@ impl FarMemory {
             }
             self.pt.update(page.vpn, |p| p.with_locked(false));
             self.wake_page(page.vpn);
+            self.emit(PageEvent::Reclaimed {
+                vpn: page.vpn,
+                frame: page.frame,
+            });
             frames.push(page.frame);
         }
         self.alloc.free_batch(core.index(), &frames).await;
@@ -274,11 +284,18 @@ impl FarMemory {
         self.stats.eviction_batches.inc();
         // Count only frames actually reclaimed: pages cancelled mid-batch
         // by a refault are accounted under `evict_cancelled_pages`, never
-        // under the evicted counters.
-        if sync {
-            self.stats.sync_evicted_pages.add(frames.len() as u64);
+        // under the evicted counters. `break_settlement` resurrects the
+        // historical double-count (a deliberate, test-only bug for the
+        // mage-check oracle to catch).
+        let counted = if self.cfg.break_settlement {
+            2 * frames.len() as u64
         } else {
-            self.stats.evicted_pages.add(frames.len() as u64);
+            frames.len() as u64
+        };
+        if sync {
+            self.stats.sync_evicted_pages.add(counted);
+        } else {
+            self.stats.evicted_pages.add(counted);
         }
         frames.len()
     }

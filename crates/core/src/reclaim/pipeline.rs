@@ -65,7 +65,14 @@ impl FarMemory {
                 self.sim.sleep(parked_ns).await;
                 continue;
             }
-            let deficit = self.alloc.free_frames() < self.high_watermark;
+            // A stalled allocator is a deficit even above the watermark:
+            // `free_frames` counts frames stranded in *other* cores'
+            // per-CPU caches, which the waiter cannot reach. Without this
+            // (the Linux failed-allocation-wakes-kswapd rule) a thread
+            // can park on the free list forever while the evictors idle —
+            // a liveness bug found by mage-check's schedule exploration.
+            let deficit = self.alloc.free_frames() < self.high_watermark
+                || !self.free_waiters.is_empty();
             if self.cfg.pipelined_eviction {
                 let progressed = self
                     .pipeline_step(core, id, &mut round, &mut pipe, deficit)
@@ -150,7 +157,12 @@ impl FarMemory {
         // refill to the actual free-page deficit: firing the whole
         // pipeline the instant the watermark is crossed produces periodic
         // IPI storms that needlessly spike application tail latency.
-        let shortfall = self.high_watermark.saturating_sub(self.alloc.free_frames()) as usize;
+        let mut shortfall = self.high_watermark.saturating_sub(self.alloc.free_frames()) as usize;
+        if !self.free_waiters.is_empty() {
+            // Stalled allocators need reclaimed frames routed through the
+            // shared queue no matter what the raw free count says.
+            shortfall = shortfall.max(self.cfg.eviction_batch);
+        }
         if deficit && pipe.depth() < 3 && pipe.in_flight_pages() < shortfall {
             let (batch, _acct) = self
                 .scan_and_unmap(evictor_id, *round, self.cfg.eviction_batch)

@@ -28,7 +28,7 @@
 
 use std::cell::Cell;
 
-use mage_sim::rng::{mix64, SplitMix64};
+use mage_sim::rng::{self, mix64, SplitMix64};
 use mage_sim::time::{Nanos, SimTime};
 
 /// Why a posted transfer did not complete successfully.
@@ -123,6 +123,52 @@ impl FaultPlan {
         }
     }
 
+    /// Number of distinct plan families [`FaultPlan::enumerate`] cycles
+    /// through (index 0 is always the perfect network).
+    pub const FAMILIES: usize = 5;
+
+    /// Enumerates a canonical family of plans for systematic exploration
+    /// (the mage-check harness sweeps `index` as one shrinkable dimension
+    /// of a failing cell). Index 0 is [`FaultPlan::none`]; higher indices
+    /// are increasingly adversarial: transient errors, error+spike mixes,
+    /// brownouts, crash windows. Indices wrap modulo [`Self::FAMILIES`],
+    /// so any `usize` is a valid cell coordinate.
+    pub fn enumerate(index: usize, seed: u64) -> Self {
+        match index % Self::FAMILIES {
+            0 => FaultPlan::none(),
+            1 => FaultPlan {
+                seed,
+                error_rate: 0.05,
+                spike_rate: 0.1,
+                spike_ns: 20_000,
+                ..FaultPlan::none()
+            },
+            2 => FaultPlan {
+                seed,
+                error_rate: 0.5,
+                spike_rate: 0.1,
+                spike_ns: 20_000,
+                ..FaultPlan::none()
+            },
+            3 => FaultPlan {
+                seed,
+                error_rate: 0.02,
+                brownout_period_ns: 400_000,
+                brownout_duration_ns: 120_000,
+                brownout_rate: 0.5,
+                brownout_bw_div: 8,
+                ..FaultPlan::none()
+            },
+            _ => FaultPlan {
+                seed,
+                crash_period_ns: 500_000,
+                crash_duration_ns: 60_000,
+                crash_rate: 0.5,
+                ..FaultPlan::none()
+            },
+        }
+    }
+
     /// Whether any injection is configured at all.
     pub fn is_active(&self) -> bool {
         self.error_rate > 0.0
@@ -194,7 +240,7 @@ impl FaultInjector {
     /// Builds the injector; `lane` decorrelates multiple links sharing a
     /// plan (e.g. read vs. write lanes of distinct NICs).
     pub fn new(plan: FaultPlan, lane: u64) -> Self {
-        let rng = SplitMix64::new(mix64(plan.seed ^ mix64(lane)));
+        let rng = rng::stream(plan.seed, lane);
         FaultInjector {
             plan,
             rng,
@@ -422,5 +468,20 @@ mod tests {
         }
         assert!(saw_down, "outage windows must open");
         assert!(inj.recoveries() > 0, "the node must also come back");
+    }
+
+    #[test]
+    fn enumerate_is_a_total_wrapping_family() {
+        assert!(!FaultPlan::enumerate(0, 9).is_active(), "index 0 is clean");
+        for i in 1..FaultPlan::FAMILIES {
+            assert!(FaultPlan::enumerate(i, 9).is_active(), "family {i} inert");
+        }
+        // Wrapping: any usize is a valid coordinate.
+        let a = FaultPlan::enumerate(1, 9);
+        let b = FaultPlan::enumerate(1 + FaultPlan::FAMILIES, 9);
+        assert_eq!(a.error_rate.to_bits(), b.error_rate.to_bits());
+        assert_eq!(a.seed, b.seed);
+        // The seed flows into every family.
+        assert_eq!(FaultPlan::enumerate(3, 77).seed, 77);
     }
 }

@@ -4,7 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use mage_mmu::{PageTable, Pte, Tlb};
-use mage_sim::rng::SplitMix64;
+use mage_sim::rng::{self, SplitMix64};
 
 /// Arbitrary interleavings of set/update/get agree with a flat-map model
 /// across the whole 36-bit VPN space.
@@ -98,5 +98,73 @@ fn pte_bits_are_independent() {
         assert_eq!(p.locked(), l);
         assert!(p.is_present());
         assert!(!p.is_remote());
+    }
+}
+
+/// Adversarial lock-protocol fuzz: arbitrary interleavings of
+/// `try_lock`/`unlock`/`set`/`update` agree with a shadow PTE per page.
+/// `try_lock` succeeds exactly when the shadow is unlocked, and no
+/// operation ever disturbs a byte it does not own.
+#[test]
+fn pte_lock_protocol_matches_model() {
+    use std::collections::BTreeMap;
+
+    for case in 0..16u64 {
+        let stream = rng::stream(0xF0CC_ED00, case);
+        let pt = PageTable::new();
+        let mut shadow: BTreeMap<u64, Pte> = BTreeMap::new();
+        for _ in 0..400 {
+            // A small page pool maximizes operation collisions.
+            let vpn = stream.next_below(32);
+            let expect = shadow.get(&vpn).copied().unwrap_or(Pte::NONE);
+            match stream.next_below(5) {
+                0 => {
+                    // Fresh mapping with random kind and flags.
+                    let payload = stream.next_below(1 << 40);
+                    let p = if stream.next_below(2) == 0 {
+                        Pte::present(payload)
+                            .with_accessed(stream.next_below(2) == 0)
+                            .with_dirty(stream.next_below(2) == 0)
+                    } else {
+                        Pte::remote(payload)
+                    };
+                    pt.set(vpn, p);
+                    shadow.insert(vpn, p);
+                }
+                1 => {
+                    let won = pt.try_lock(vpn);
+                    assert_eq!(
+                        won,
+                        !expect.locked(),
+                        "case {case}: try_lock({vpn}) disagrees with shadow"
+                    );
+                    if won {
+                        shadow.insert(vpn, expect.with_locked(true));
+                    }
+                }
+                2 => {
+                    if expect.locked() {
+                        pt.unlock(vpn);
+                        shadow.insert(vpn, expect.with_locked(false));
+                    }
+                }
+                3 => {
+                    let old = pt.update(vpn, |p| p.with_accessed(true));
+                    assert_eq!(old.0, expect.0, "case {case}: update saw a stale PTE");
+                    shadow.insert(vpn, expect.with_accessed(true));
+                }
+                _ => {
+                    assert_eq!(pt.get(vpn).0, expect.0, "case {case}: get({vpn}) diverged");
+                }
+            }
+            let now = shadow.get(&vpn).copied().unwrap_or(Pte::NONE);
+            assert_eq!(pt.get(vpn).0, now.0, "case {case}: vpn {vpn} diverged");
+        }
+        // Final sweep: every touched page matches its shadow bit-for-bit.
+        for (vpn, want) in shadow {
+            let got = pt.get(vpn);
+            assert_eq!(got.0, want.0);
+            assert_eq!(got.locked(), want.locked());
+        }
     }
 }

@@ -1,0 +1,137 @@
+//! Adversarial seeded fuzz for the buddy allocator: arbitrary
+//! interleavings of mixed-order allocs and frees against a shadow model
+//! of outstanding blocks.
+//!
+//! Invariants checked after every operation:
+//! - a returned block is order-aligned and inside the managed range;
+//! - outstanding blocks never overlap;
+//! - frame conservation: `free_frames + Σ 2^order(outstanding)` equals
+//!   the total at all times;
+//! - freeing everything coalesces back to a fully free pool.
+
+use std::collections::BTreeSet;
+
+use mage_palloc::buddy::MAX_ORDER;
+use mage_palloc::BuddyAllocator;
+use mage_sim::rng::{self, SplitMix64};
+
+/// Shadow model: the set of outstanding (base, order) blocks.
+struct Shadow {
+    total: u64,
+    live: Vec<(u64, u32)>,
+}
+
+impl Shadow {
+    fn frames_out(&self) -> u64 {
+        self.live.iter().map(|&(_, o)| 1u64 << o).sum()
+    }
+
+    fn check(&self, b: &BuddyAllocator) {
+        assert_eq!(
+            b.free_frames() + self.frames_out(),
+            self.total,
+            "frame conservation broken"
+        );
+        // Outstanding blocks are disjoint: sort by base, check gaps.
+        let mut spans: Vec<(u64, u64)> = self
+            .live
+            .iter()
+            .map(|&(base, o)| (base, base + (1u64 << o)))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "overlapping blocks: [{:#x},{:#x}) and [{:#x},{:#x})",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_order_alloc_free_fuzz() {
+    let cases = SplitMix64::new(0xB0DD7);
+    for case in 0..24u64 {
+        let nframes = 1 + cases.next_below(5_000);
+        let stream = rng::stream(0xB0DD7, case);
+        let mut b = BuddyAllocator::new(nframes);
+        let mut shadow = Shadow {
+            total: nframes,
+            live: Vec::new(),
+        };
+        for _ in 0..400 {
+            if stream.next_below(2) == 0 {
+                let order = stream.next_below(u64::from(MAX_ORDER) / 2 + 1) as u32;
+                if let Some(base) = b.alloc(order) {
+                    assert_eq!(base % (1 << order), 0, "misaligned block {base:#x}");
+                    assert!(
+                        base + (1u64 << order) <= nframes,
+                        "block {base:#x} order {order} out of range"
+                    );
+                    shadow.live.push((base, order));
+                } else {
+                    // Refusal must mean no sufficiently large block
+                    // could exist, not that frames leaked: a pool with
+                    // zero outstanding frames always satisfies order 0.
+                    if order == 0 {
+                        assert_eq!(b.free_frames(), 0, "order-0 refusal with free frames");
+                    }
+                }
+            } else if !shadow.live.is_empty() {
+                let i = stream.next_below(shadow.live.len() as u64) as usize;
+                let (base, order) = shadow.live.swap_remove(i);
+                b.free(base, order);
+            }
+            shadow.check(&b);
+        }
+        // Drain: free everything, expect full coalescing.
+        for (base, order) in shadow.live.drain(..) {
+            b.free(base, order);
+        }
+        assert_eq!(b.free_frames(), nframes, "case {case}: pool did not recoalesce");
+    }
+}
+
+#[test]
+fn batch_paths_agree_with_single_frame_paths() {
+    let stream = rng::stream(0xBA7C4, 0);
+    let mut b = BuddyAllocator::new(2_048);
+    let mut held: Vec<u64> = Vec::new();
+    for _ in 0..64 {
+        let want = 1 + stream.next_below(32) as usize;
+        let before = held.len();
+        b.alloc_batch(want, &mut held);
+        let got = held.len() - before;
+        assert!(got <= want);
+        // Uniqueness across everything currently held.
+        let unique: BTreeSet<u64> = held.iter().copied().collect();
+        assert_eq!(unique.len(), held.len(), "batch returned a duplicate frame");
+        if stream.next_below(3) == 0 {
+            let keep = stream.next_below(held.len() as u64 + 1) as usize;
+            let returned: Vec<u64> = held.split_off(keep);
+            b.free_batch(&returned);
+        }
+    }
+    b.free_batch(&held);
+    assert_eq!(b.free_frames(), 2_048);
+}
+
+#[test]
+#[should_panic(expected = "double or invalid free")]
+fn double_free_is_detected() {
+    let mut b = BuddyAllocator::new(64);
+    let f = b.alloc(0).expect("frame");
+    b.free(f, 0);
+    b.free(f, 0);
+}
+
+#[test]
+#[should_panic(expected = "double or invalid free")]
+fn freeing_an_unallocated_block_is_detected() {
+    let mut b = BuddyAllocator::new(64);
+    b.free(8, 1);
+}

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::sync::Mutex;
 use std::task::{Context, Poll, Wake, Waker};
 
+use crate::explore::{ExplorationPolicy, Explorer, RunProgress};
 use crate::lockdep::{LockDep, TaskKey, MAIN_TASK};
 use crate::time::{Nanos, SimTime};
 
@@ -90,10 +91,14 @@ struct ExecCore {
     /// Task currently being polled, for lockdep hold tracking.
     current: Cell<Option<TaskId>>,
     lockdep: LockDep,
+    /// Ready-queue pick strategy (FIFO unless exploration is requested).
+    explorer: Explorer,
+    /// Cumulative task polls, for runaway-schedule bounding.
+    polls: Cell<u64>,
 }
 
 impl ExecCore {
-    fn new() -> Rc<Self> {
+    fn new(policy: ExplorationPolicy) -> Rc<Self> {
         Rc::new(ExecCore {
             now: Cell::new(SimTime::ZERO),
             tasks: RefCell::new(Vec::new()),
@@ -107,7 +112,23 @@ impl ExecCore {
             drain_buf: RefCell::new(Vec::new()),
             current: Cell::new(None),
             lockdep: LockDep::default(),
+            explorer: Explorer::new(policy),
+            polls: Cell::new(0),
         })
+    }
+
+    /// Removes and returns the next task id to poll, as chosen by the
+    /// exploration policy. Index 0 (the FIFO case) is a plain
+    /// `pop_front`, preserving the historical schedule bit-for-bit.
+    fn pick_ready(&self) -> Option<TaskId> {
+        let mut ready = self.ready.borrow_mut();
+        if ready.is_empty() {
+            return None;
+        }
+        match self.explorer.pick(&ready) {
+            0 => ready.pop_front(),
+            idx => ready.remove(idx),
+        }
     }
 
     fn spawn(self: &Rc<Self>, future: LocalFuture) -> TaskId {
@@ -232,16 +253,31 @@ impl ExecCore {
     }
 
     /// Runs until no task is runnable and no timer is pending, or the
-    /// optional deadline is reached. Returns the final virtual time.
-    fn run(self: &Rc<Self>, deadline: Option<SimTime>, stop: &dyn Fn() -> bool) -> SimTime {
+    /// optional deadline is reached, or `max_polls` task polls have been
+    /// performed. Returns true unless the poll budget stopped the run
+    /// first (the runaway case).
+    fn run(
+        self: &Rc<Self>,
+        deadline: Option<SimTime>,
+        stop: &dyn Fn() -> bool,
+        max_polls: Option<u64>,
+    ) -> bool {
+        let start_polls = self.polls.get();
         loop {
             if stop() {
-                return self.now.get();
+                return true;
             }
             self.absorb_wakes();
-            let next = self.ready.borrow_mut().pop_front();
+            let runnable = !self.ready.borrow().is_empty();
+            if runnable && max_polls.is_some_and(|b| self.polls.get() - start_polls >= b) {
+                return false;
+            }
+            let next = self.pick_ready();
             match next {
-                Some(id) => self.poll_one(id),
+                Some(id) => {
+                    self.polls.set(self.polls.get() + 1);
+                    self.poll_one(id);
+                }
                 None => {
                     if let Some(d) = deadline {
                         let next_timer = self.timers.borrow().peek().map(|Reverse(e)| e.deadline);
@@ -251,11 +287,11 @@ impl ExecCore {
                             }
                             _ => {
                                 self.now.set(self.now.get().max(d));
-                                return self.now.get();
+                                return true;
                             }
                         }
                     } else if !self.advance_to_next_timer() {
-                        return self.now.get();
+                        return true;
                     }
                 }
             }
@@ -422,13 +458,32 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Creates an empty simulation at virtual time zero.
+    /// Creates an empty simulation at virtual time zero, with the
+    /// default FIFO schedule.
     pub fn new() -> Self {
+        Simulation::with_policy(ExplorationPolicy::Fifo)
+    }
+
+    /// Creates an empty simulation whose ready-queue picks follow
+    /// `policy` (see [`ExplorationPolicy`]). `Fifo` is bit-for-bit
+    /// identical to [`Simulation::new`].
+    pub fn with_policy(policy: ExplorationPolicy) -> Self {
         Simulation {
             handle: SimHandle {
-                core: ExecCore::new(),
+                core: ExecCore::new(policy),
             },
         }
+    }
+
+    /// The exploration policy this simulation schedules with.
+    pub fn policy(&self) -> ExplorationPolicy {
+        self.handle.core.explorer.policy()
+    }
+
+    /// Total task polls performed so far, a monotone progress measure
+    /// independent of virtual time.
+    pub fn polls(&self) -> u64 {
+        self.handle.core.polls.get()
     }
 
     /// Returns a handle usable inside tasks.
@@ -443,12 +498,29 @@ impl Simulation {
 
     /// Runs until no work remains; returns the final virtual time.
     pub fn run(&self) -> SimTime {
-        self.handle.core.run(None, &|| false)
+        self.handle.core.run(None, &|| false, None);
+        self.handle.core.now.get()
     }
 
     /// Runs until `deadline`, or earlier if the simulation drains.
     pub fn run_until(&self, deadline: SimTime) -> SimTime {
-        self.handle.core.run(Some(deadline), &|| false)
+        self.handle.core.run(Some(deadline), &|| false, None);
+        self.handle.core.now.get()
+    }
+
+    /// Like [`Simulation::run`]/[`Simulation::run_until`], but performs
+    /// at most `max_polls` task polls, so a runaway schedule (livelock,
+    /// starvation loop) cannot hang the caller. The returned
+    /// [`RunProgress`] says how far the run got and whether it drained
+    /// (`completed`) or hit the budget.
+    pub fn run_bounded(&self, deadline: Option<SimTime>, max_polls: u64) -> RunProgress {
+        let start = self.handle.core.polls.get();
+        let completed = self.handle.core.run(deadline, &|| false, Some(max_polls));
+        RunProgress {
+            now: self.handle.core.now.get(),
+            polls: self.handle.core.polls.get() - start,
+            completed,
+        }
     }
 
     /// Spawns `future` and runs the simulation until it completes.
@@ -458,6 +530,33 @@ impl Simulation {
     /// Panics if the simulation runs dry (deadlocks) before the future
     /// finishes.
     pub fn block_on<T: 'static>(&self, future: impl Future<Output = T> + 'static) -> T {
+        match self.block_on_inner(future, None) {
+            Ok(v) => v,
+            Err(_) => unreachable!("unbounded block_on cannot exhaust a poll budget"),
+        }
+    }
+
+    /// Like [`Simulation::block_on`], but gives up after `max_polls`
+    /// task polls. Returns `Err` with the progress made if the budget
+    /// ran out before the future completed (the runaway case).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation runs dry (deadlocks) before the future
+    /// finishes and before the budget is exhausted.
+    pub fn block_on_bounded<T: 'static>(
+        &self,
+        future: impl Future<Output = T> + 'static,
+        max_polls: u64,
+    ) -> Result<T, RunProgress> {
+        self.block_on_inner(future, Some(max_polls))
+    }
+
+    fn block_on_inner<T: 'static>(
+        &self,
+        future: impl Future<Output = T> + 'static,
+        max_polls: Option<u64>,
+    ) -> Result<T, RunProgress> {
         let out: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
         let out2 = Rc::clone(&out);
         self.handle.core.spawn(Box::pin(async move {
@@ -467,9 +566,18 @@ impl Simulation {
             let out = Rc::clone(&out);
             move || out.borrow().is_some()
         };
-        self.handle.core.run(None, &done);
+        let start = self.handle.core.polls.get();
+        let completed = self.handle.core.run(None, &done, max_polls);
         let result = out.borrow_mut().take();
-        result.expect("simulation deadlocked: block_on future never completed")
+        match result {
+            Some(v) => Ok(v),
+            None if !completed => Err(RunProgress {
+                now: self.handle.core.now.get(),
+                polls: self.handle.core.polls.get() - start,
+                completed: false,
+            }),
+            None => panic!("simulation deadlocked: block_on future never completed"),
+        }
     }
 }
 
@@ -620,6 +728,139 @@ mod tests {
     fn block_on_detects_deadlock() {
         let sim = Simulation::new();
         sim.block_on(std::future::pending::<()>());
+    }
+
+    /// Runs a contended interleaving workload and returns the order in
+    /// which tasks logged, as a schedule fingerprint.
+    fn schedule_fingerprint(sim: &Simulation) -> Vec<(usize, usize)> {
+        let h = sim.handle();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for name in 0..4usize {
+            let h2 = h.clone();
+            let log2 = Rc::clone(&log);
+            sim.spawn(async move {
+                for round in 0..4usize {
+                    log2.borrow_mut().push((name, round));
+                    h2.yield_now().await;
+                    h2.sleep((round as u64 % 3) * 10).await;
+                }
+            });
+        }
+        sim.run();
+        let out = log.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn fifo_policy_matches_default_schedule() {
+        let a = schedule_fingerprint(&Simulation::new());
+        let b = schedule_fingerprint(&Simulation::with_policy(ExplorationPolicy::Fifo));
+        assert_eq!(a, b, "Fifo must reproduce the default schedule exactly");
+    }
+
+    #[test]
+    fn exploration_policies_perturb_and_reproduce_schedules() {
+        let seeded = |seed| {
+            schedule_fingerprint(&Simulation::with_policy(ExplorationPolicy::SeededRandom {
+                seed,
+            }))
+        };
+        assert_eq!(seeded(5), seeded(5), "same seed, same schedule");
+        let fifo = schedule_fingerprint(&Simulation::new());
+        let mut diverged = false;
+        for seed in 0..8 {
+            if seeded(seed) != fifo {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "random exploration never left the FIFO schedule");
+        let fuzz = |seed| {
+            schedule_fingerprint(&Simulation::with_policy(ExplorationPolicy::PriorityFuzz {
+                seed,
+            }))
+        };
+        assert_eq!(fuzz(5), fuzz(5), "priority fuzz is reproducible too");
+    }
+
+    #[test]
+    fn policies_only_reorder_never_drop_work() {
+        // Every policy must run every task to completion: same multiset
+        // of log entries, whatever the order.
+        let mut sorted_fifo = schedule_fingerprint(&Simulation::new());
+        sorted_fifo.sort_unstable();
+        for policy in [
+            ExplorationPolicy::SeededRandom { seed: 3 },
+            ExplorationPolicy::PriorityFuzz { seed: 3 },
+        ] {
+            let mut got = schedule_fingerprint(&Simulation::with_policy(policy));
+            got.sort_unstable();
+            assert_eq!(got, sorted_fifo, "{} lost or duplicated work", policy.name());
+        }
+    }
+
+    #[test]
+    fn run_bounded_stops_runaway_schedules() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            loop {
+                h.yield_now().await;
+            }
+        });
+        let p = sim.run_bounded(None, 1_000);
+        assert!(!p.completed, "an infinite yield loop must hit the budget");
+        assert_eq!(p.polls, 1_000);
+        assert_eq!(sim.polls(), 1_000);
+        // A later bounded run resumes where the first stopped.
+        let p2 = sim.run_bounded(None, 500);
+        assert!(!p2.completed);
+        assert_eq!(p2.polls, 500);
+        assert_eq!(sim.polls(), 1_500);
+    }
+
+    #[test]
+    fn run_bounded_reports_completion_when_draining() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        sim.spawn(async move {
+            h.sleep(100).await;
+        });
+        let p = sim.run_bounded(None, 1_000_000);
+        assert!(p.completed, "a finite schedule must drain within budget");
+        assert_eq!(p.now.as_nanos(), 100);
+        assert!(p.polls > 0);
+    }
+
+    #[test]
+    fn block_on_bounded_returns_progress_on_budget_exhaustion() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let err = sim
+            .block_on_bounded(
+                async move {
+                    loop {
+                        h.yield_now().await;
+                    }
+                },
+                200,
+            )
+            .expect_err("an infinite loop must exhaust the budget");
+        assert!(!err.completed);
+        assert_eq!(err.polls, 200);
+
+        let sim2 = Simulation::new();
+        let h2 = sim2.handle();
+        let v = sim2
+            .block_on_bounded(
+                async move {
+                    h2.sleep(7).await;
+                    41 + 1
+                },
+                1_000_000,
+            )
+            .expect("a finite future completes within budget");
+        assert_eq!(v, 42);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod executor;
+pub mod explore;
 pub mod lockdep;
 pub mod rng;
 pub mod stats;
@@ -42,4 +43,5 @@ pub mod sync_ext;
 pub mod time;
 
 pub use executor::{JoinHandle, SimHandle, Simulation};
+pub use explore::{ExplorationPolicy, RunProgress};
 pub use time::{Nanos, SimTime};

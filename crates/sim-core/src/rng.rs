@@ -48,6 +48,17 @@ impl SplitMix64 {
     }
 }
 
+/// Derives an independent generator for `lane` from a base `seed`.
+///
+/// This is the one canonical stream-derivation formula: both inputs go
+/// through [`mix64`] so that nearby seeds (0, 1, 2, …) and nearby lanes
+/// do not produce correlated streams. Engine components (per-machine
+/// retry jitter, per-NIC fault injection) and test helpers use this
+/// instead of hand-rolled copies of the same xor-and-finalize pattern.
+pub fn stream(seed: u64, lane: u64) -> SplitMix64 {
+    SplitMix64::new(mix64(seed ^ mix64(lane)))
+}
+
 /// Mixes a 64-bit value into a well-distributed hash (SplitMix64 finalizer).
 pub fn mix64(v: u64) -> u64 {
     let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -105,6 +116,18 @@ mod tests {
     #[should_panic(expected = "bound must be positive")]
     fn next_below_zero_panics() {
         SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn stream_lanes_are_independent_and_reproducible() {
+        let a = stream(42, 0);
+        let b = stream(42, 0);
+        let c = stream(42, 1);
+        let d = stream(43, 0);
+        let first = a.next_u64();
+        assert_eq!(first, b.next_u64(), "same (seed, lane) reproduces");
+        assert_ne!(first, c.next_u64(), "lanes diverge");
+        assert_ne!(first, d.next_u64(), "seeds diverge");
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use mage_far_memory::mmu::Topology;
 use mage_far_memory::prelude::*;
+use mage_far_memory::sim::rng;
 
 fn run(system: SystemConfig, kind: WorkloadKind, threads: usize, local: f64) -> RunReport {
     let mut cfg = RunConfig::new(system, kind, threads, 16_384, local);
@@ -96,11 +97,11 @@ fn frame_conservation_under_stress() {
     for t in 0..8u32 {
         let e = Rc::clone(&engine);
         joins.push(sim.spawn(async move {
-            let mut x = 123u64 ^ t as u64;
+            let stream = rng::stream(123, t as u64);
             for _ in 0..4_000 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let page = (x >> 33) % 16_384;
-                e.access(CoreId(t), vma.start_vpn + page, x.is_multiple_of(7)).await;
+                let page = stream.next_below(16_384);
+                let write = stream.next_below(7) == 0;
+                e.access(CoreId(t), vma.start_vpn + page, write).await;
             }
         }));
     }

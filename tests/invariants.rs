@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use mage_far_memory::mmu::Topology;
 use mage_far_memory::prelude::*;
-use mage_far_memory::sim::rng::SplitMix64;
+use mage_far_memory::sim::rng::{self, SplitMix64};
 
 /// Drives a random access mix on a random machine and returns
 /// (major_faults, evicted, resident, free).
@@ -33,13 +33,11 @@ fn stress(
     for t in 0..threads {
         let e = Rc::clone(&engine);
         joins.push(sim.spawn(async move {
-            let mut x = seed ^ (t as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            let stream = rng::stream(seed, t as u64);
             for _ in 0..ops {
-                x = x
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                let page = (x >> 33) % wss_pages;
-                e.access(CoreId(t), vma.start_vpn + page, x.is_multiple_of(5)).await;
+                let page = stream.next_below(wss_pages);
+                let write = stream.next_below(5) == 0;
+                e.access(CoreId(t), vma.start_vpn + page, write).await;
             }
         }));
     }
