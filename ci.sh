@@ -22,6 +22,16 @@ cargo test -q --test check_explore
 echo "==> cargo build --examples"
 cargo build --examples
 
+echo "==> quickstart trace export (validates + writes Chrome trace_event JSON)"
+rm -f target/quickstart_trace.json
+# The example validates the export with mage_sim::trace::validate_json
+# before writing; a missing or empty file means export or validation broke.
+cargo run -q --release --example quickstart >/dev/null
+test -s target/quickstart_trace.json || {
+    echo "error: quickstart did not produce target/quickstart_trace.json" >&2
+    exit 1
+}
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

@@ -18,24 +18,35 @@ use crate::events::PageEvent;
 use crate::machine::{Access, FarMemory};
 use crate::retry::{FaultError, TransferOp};
 
-/// Per-fault timing context: component times accumulated while one major
-/// fault traverses `FP₁`–`FP₃`, settled into the breakdown stats exactly
-/// once at the end.
+/// One timed phase of a fault: the raw interval it occupied.
+#[derive(Clone, Copy)]
+struct PhaseSpan {
+    start: SimTime,
+    dur: Nanos,
+}
+
+/// Per-fault timing context: phase intervals captured while one major
+/// fault traverses `FP₁`–`FP₃`, settled exactly once at the end — into
+/// the breakdown stats always, and into trace spans when a tracer is
+/// attached. One capture feeds both consumers, so the Fig. 6/16
+/// breakdown and the trace can never disagree.
 struct FaultCtx {
     /// Virtual time at trap entry.
     t0: SimTime,
-    /// TLB-shootdown time from synchronous eviction inside this fault.
+    /// TLB-shootdown time from synchronous eviction inside this fault
+    /// (accumulated across fallback rounds; traced on the TLB track).
     sync_tlb_ns: Nanos,
     /// Accounting-scan time from synchronous eviction inside this fault.
     sync_acct_ns: Nanos,
-    /// Backend read wait (`FP₂`).
-    rdma_ns: Nanos,
-    /// Remote-slot release time (`FP₂`).
-    slot_ns: Nanos,
-    /// Memory circulation: frame allocation + waiting for free pages.
-    circ_ns: Nanos,
-    /// Accounting insert time (`FP₃`), plus this fault's sync scans.
-    acct_ns: Nanos,
+    /// Backend read (`FP₂`), including retries.
+    rdma: Option<PhaseSpan>,
+    /// Remote-slot release (`FP₂`).
+    slot: Option<PhaseSpan>,
+    /// Memory circulation (`FP₁`): frame allocation + waiting for free
+    /// pages, raw (sync-eviction time is carved out at settlement).
+    circ: Option<PhaseSpan>,
+    /// Accounting insert (`FP₃`), raw.
+    acct: Option<PhaseSpan>,
 }
 
 impl FaultCtx {
@@ -44,34 +55,70 @@ impl FaultCtx {
             t0: now,
             sync_tlb_ns: 0,
             sync_acct_ns: 0,
-            rdma_ns: 0,
-            slot_ns: 0,
-            circ_ns: 0,
-            acct_ns: 0,
+            rdma: None,
+            slot: None,
+            circ: None,
+            acct: None,
+        }
+    }
+
+    fn dur(phase: &Option<PhaseSpan>) -> Nanos {
+        phase.map_or(0, |p| p.dur)
+    }
+
+    fn trace_phase(
+        engine: &FarMemory,
+        core: CoreId,
+        name: &'static str,
+        phase: &Option<PhaseSpan>,
+    ) {
+        if let Some(p) = phase {
+            engine.tracer().expect("caller checked").record(
+                core.0,
+                "fault",
+                name,
+                p.start.as_nanos(),
+                p.dur,
+                None,
+            );
         }
     }
 
     /// Settles a fault that short-circuited (resolved by another thread
     /// or by cancelling an in-flight eviction): total latency only, no
     /// component attribution.
-    fn settle_early(self, engine: &FarMemory) -> Nanos {
+    fn settle_early(self, engine: &FarMemory, core: CoreId, vpn: u64) -> Nanos {
         let total = engine.sim.now().saturating_since(self.t0);
         engine.stats.record_fault(total, 0);
+        engine.trace_evt(core.0, "fault", "major", self.t0, Some(("vpn", vpn)));
         total
     }
 
-    /// Settles a completed fault into the breakdown categories.
-    fn settle(self, engine: &FarMemory) -> Nanos {
+    /// Settles a completed fault into the breakdown categories and, with
+    /// a tracer attached, emits the phase spans plus an enclosing
+    /// `major` span on the faulting core's track.
+    fn settle(self, engine: &FarMemory, core: CoreId, vpn: u64) -> Nanos {
+        let rdma_ns = Self::dur(&self.rdma);
+        let slot_ns = Self::dur(&self.slot);
+        let circ_ns = Self::dur(&self.circ).saturating_sub(self.sync_tlb_ns + self.sync_acct_ns);
+        let acct_ns = Self::dur(&self.acct) + self.sync_acct_ns;
         let b = &engine.stats.breakdown;
-        b.rdma.borrow_mut().record(self.rdma_ns);
+        b.rdma.borrow_mut().record(rdma_ns);
         b.tlb.borrow_mut().record(self.sync_tlb_ns);
-        b.accounting.borrow_mut().record(self.acct_ns);
-        b.circulation.borrow_mut().record(self.circ_ns + self.slot_ns);
+        b.accounting.borrow_mut().record(acct_ns);
+        b.circulation.borrow_mut().record(circ_ns + slot_ns);
         let total = engine.sim.now().saturating_since(self.t0);
         engine.stats.record_fault(
             total,
-            self.rdma_ns + self.sync_tlb_ns + self.acct_ns + self.circ_ns + self.slot_ns,
+            rdma_ns + self.sync_tlb_ns + acct_ns + circ_ns + slot_ns,
         );
+        if engine.tracer().is_some() {
+            Self::trace_phase(engine, core, "fp1.circulation", &self.circ);
+            Self::trace_phase(engine, core, "fp2.read", &self.rdma);
+            Self::trace_phase(engine, core, "fp2.slot", &self.slot);
+            Self::trace_phase(engine, core, "fp3.accounting", &self.acct);
+            engine.trace_evt(core.0, "fault", "major", self.t0, Some(("vpn", vpn)));
+        }
         total
     }
 }
@@ -142,7 +189,7 @@ impl FarMemory {
                 });
                 self.ic.tlb(core).fill(vpn);
                 self.stats.prefetch_inflight_hits.inc();
-                return Ok(ctx.settle_early(self));
+                return Ok(ctx.settle_early(self, core, vpn));
             }
             if pte.locked() {
                 // Refault on a page mid-eviction: cancel the eviction and
@@ -161,7 +208,7 @@ impl FarMemory {
                     self.wake_page(vpn);
                     self.stats.evict_cancels.inc();
                     self.emit(PageEvent::EvictCancelled { vpn, frame });
-                    return Ok(ctx.settle_early(self));
+                    return Ok(ctx.settle_early(self, core, vpn));
                 }
                 self.stats.page_lock_waits.inc();
                 self.wait_for_page(vpn).await;
@@ -203,11 +250,10 @@ impl FarMemory {
                     .record(self.sim.now().saturating_since(t_w));
             }
         };
-        ctx.circ_ns = self
-            .sim
-            .now()
-            .saturating_since(t_circ)
-            .saturating_sub(ctx.sync_tlb_ns + ctx.sync_acct_ns);
+        ctx.circ = Some(PhaseSpan {
+            start: t_circ,
+            dur: self.sim.now().saturating_since(t_circ),
+        });
 
         // FP₂: fetch the page contents from the backend (not needed on
         // first touch, which zero-fills).
@@ -227,12 +273,18 @@ impl FarMemory {
                 self.emit(PageEvent::FetchAborted { vpn });
                 return Err(err);
             }
-            ctx.rdma_ns = self.sim.now().saturating_since(t_r);
+            ctx.rdma = Some(PhaseSpan {
+                start: t_r,
+                dur: self.sim.now().saturating_since(t_r),
+            });
             // Release the backend slot (Linux frees it on swap-in; direct
             // mapping keeps the address-derived slot reserved).
             let t_s = self.sim.now();
             self.backend.release_slot(rpn).await;
-            ctx.slot_ns = self.sim.now().saturating_since(t_s);
+            ctx.slot = Some(PhaseSpan {
+                start: t_s,
+                dur: self.sim.now().saturating_since(t_s),
+            });
         }
 
         // FP₃: install the mapping and account the page.
@@ -248,14 +300,17 @@ impl FarMemory {
         self.emit(PageEvent::Installed { vpn, frame });
         let t_a = self.sim.now();
         self.acct.insert(core.index(), vpn).await;
-        ctx.acct_ns = self.sim.now().saturating_since(t_a) + ctx.sync_acct_ns;
+        ctx.acct = Some(PhaseSpan {
+            start: t_a,
+            dur: self.sim.now().saturating_since(t_a),
+        });
         self.ic.tlb(core).fill(vpn);
         self.wake_page(vpn);
 
         // Readahead.
         self.maybe_prefetch(core, vpn);
 
-        Ok(ctx.settle(self))
+        Ok(ctx.settle(self, core, vpn))
     }
 }
 

@@ -62,6 +62,7 @@ pub mod events;
 pub mod fault;
 pub mod ideal;
 pub mod machine;
+pub mod metrics;
 mod prefetch;
 pub mod reclaim;
 pub mod retry;
@@ -75,6 +76,7 @@ pub use costs::{CostModel, OsProfile};
 pub use events::{EventSink, PageEvent};
 pub use ideal::IdealModel;
 pub use machine::{Access, FarMemory, MachineParams};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, MetricsWindow};
 pub use reclaim::{AgingClock, EvictionPolicy, Fifo, SecondChance};
 pub use retry::{FaultError, RetryPolicy, TransferOp};
 pub use stats::{BreakdownMeans, EngineStats};

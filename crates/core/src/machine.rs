@@ -25,12 +25,14 @@ use mage_mmu::{
 };
 use mage_palloc::LocalAllocator;
 use mage_sim::sync::WaitQueue;
-use mage_sim::time::Nanos;
+use mage_sim::time::{Nanos, SimTime};
+use mage_sim::trace::Tracer;
 use mage_sim::SimHandle;
 
 use crate::backend::FarBackend;
 use crate::config::SystemConfig;
 use crate::events::{EventSink, EventTap, PageEvent};
+use crate::metrics::MetricsRegistry;
 use crate::prefetch::StreamDetector;
 use crate::reclaim::EvictionPolicy;
 use crate::retry::FaultError;
@@ -135,6 +137,9 @@ pub struct FarMemory {
     /// Page-lifecycle event tap (see [`crate::events`]); empty by
     /// default, in which case every emission site is a no-op.
     pub(crate) events: EventTap,
+    /// Optional virtual-time tracer (see [`mage_sim::trace`]); `None` by
+    /// default, in which case every recording site is one branch.
+    pub(crate) tracer: RefCell<Option<Rc<Tracer>>>,
     pub(crate) self_ref: RefCell<Weak<FarMemory>>,
 }
 
@@ -214,6 +219,7 @@ impl FarMemory {
             ),
             retry_rng: rng::stream(params.seed, cfg.faults.seed),
             events: EventTap::default(),
+            tracer: RefCell::new(None),
             self_ref: RefCell::new(Weak::new()),
             cfg,
         });
@@ -245,6 +251,58 @@ impl FarMemory {
     /// Engine statistics.
     pub fn stats(&self) -> &EngineStats {
         &self.stats
+    }
+
+    /// The composed stat registry over every source this machine owns
+    /// (engine, NIC, interrupts, accounting); the entry point for
+    /// snapshot-delta measurement windows.
+    pub fn metrics(&self) -> MetricsRegistry<'_> {
+        MetricsRegistry {
+            engine: &self.stats,
+            nic: self.backend.link().stats(),
+            interrupts: self.ic.stats(),
+            accounting: self.acct.stats(),
+        }
+    }
+
+    /// Attaches a virtual-time tracer to the whole machine: fault and
+    /// eviction spans from the engine, transfer events from the NIC and
+    /// shootdown rounds from the interrupt controller all record into it.
+    /// Application cores appear as tracks `0..app_threads`.
+    pub fn attach_tracer(&self, tracer: Rc<Tracer>) {
+        for core in &self.app_cores {
+            tracer.name_track(core.0, &format!("core {}", core.0));
+        }
+        self.nic().attach_tracer(Rc::clone(&tracer));
+        self.ic.attach_tracer(Rc::clone(&tracer));
+        *self.tracer.borrow_mut() = Some(tracer);
+    }
+
+    /// The attached tracer, if any (cheap clone of an `Rc`).
+    pub(crate) fn tracer(&self) -> Option<Rc<Tracer>> {
+        self.tracer.borrow().clone()
+    }
+
+    /// Records a complete trace event from `start` to now, if a tracer is
+    /// attached (one branch otherwise).
+    pub(crate) fn trace_evt(
+        &self,
+        track: u32,
+        cat: &'static str,
+        name: &'static str,
+        start: SimTime,
+        arg: Option<(&'static str, u64)>,
+    ) {
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.record(
+                track,
+                cat,
+                name,
+                start.as_nanos(),
+                self.sim.now().saturating_since(start),
+                arg,
+            );
+        }
     }
 
     /// The far-memory backend.

@@ -6,6 +6,7 @@
 use mage_fabric::Completion;
 use mage_mmu::{CoreId, FlushTicket, Pte, PAGE_SIZE};
 use mage_sim::time::{Nanos, SimTime};
+use mage_sim::trace::TRACK_WRITEBACK;
 
 use crate::events::PageEvent;
 use crate::machine::FarMemory;
@@ -134,6 +135,7 @@ impl FarMemory {
     /// [`writes_clean_pages`](crate::backend::FarBackend::writes_clean_pages),
     /// so every page is written.
     pub(crate) async fn post_writebacks(&self, batch: &[EvictPage]) -> WritebackSet {
+        let t_post = self.sim.now();
         let must_write_clean = self.backend.writes_clean_pages();
         let mut completions = Vec::new();
         for (idx, page) in batch.iter().enumerate() {
@@ -154,7 +156,21 @@ impl FarMemory {
                 .await;
             self.stats.writebacks.add(wrote);
         }
-        WritebackSet { completions }
+        let wb = WritebackSet { completions };
+        if let (Some(t), Some(done)) = (self.tracer(), wb.done_at()) {
+            // The in-flight window is known at post time (completion
+            // instants are fixed when posted), so the whole batch is one
+            // predicted event on the writeback track.
+            t.record(
+                TRACK_WRITEBACK,
+                "evict",
+                "writeback",
+                t_post.as_nanos(),
+                done.saturating_since(t_post),
+                Some(("pages", wrote)),
+            );
+        }
+        wb
     }
 
     /// Step ⑥ settlement: inspect the completed writebacks of a batch,
@@ -245,6 +261,7 @@ impl FarMemory {
         batch: &[EvictPage],
         sync: bool,
     ) -> usize {
+        let t0 = self.sim.now();
         let mut frames = Vec::with_capacity(batch.len());
         for page in batch {
             // A concurrent refault may have cancelled this page's
@@ -297,6 +314,13 @@ impl FarMemory {
         } else {
             self.stats.evicted_pages.add(counted);
         }
+        self.trace_evt(
+            core.0,
+            "evict",
+            "finalize",
+            t0,
+            Some(("frames", frames.len() as u64)),
+        );
         frames.len()
     }
 
@@ -350,7 +374,15 @@ impl FarMemory {
         if sync {
             self.stats.sync_evictions.inc();
         }
+        let t_scan = self.sim.now();
         let (batch, acct_ns) = self.scan_and_unmap(evictor_id, round, want).await;
+        self.trace_evt(
+            core.0,
+            "evict",
+            "scan",
+            t_scan,
+            Some(("pages", batch.len() as u64)),
+        );
         if batch.is_empty() {
             return EvictOutcome {
                 pages: 0,

@@ -164,9 +164,17 @@ impl FarMemory {
             shortfall = shortfall.max(self.cfg.eviction_batch);
         }
         if deficit && pipe.depth() < 3 && pipe.in_flight_pages() < shortfall {
+            let t_scan = self.sim.now();
             let (batch, _acct) = self
                 .scan_and_unmap(evictor_id, *round, self.cfg.eviction_batch)
                 .await;
+            self.trace_evt(
+                core.0,
+                "evict",
+                "scan",
+                t_scan,
+                Some(("pages", batch.len() as u64)),
+            );
             *round += 1;
             if !batch.is_empty() {
                 let ticket = self.send_shootdown(core, &batch).await;

@@ -16,6 +16,7 @@
 use mage_fabric::{Completion, TransferError};
 use mage_sim::rng::SplitMix64;
 use mage_sim::time::Nanos;
+use mage_sim::trace::TRACK_RETRY;
 
 use crate::machine::FarMemory;
 
@@ -142,6 +143,13 @@ impl FarMemory {
         };
         let policy = self.cfg.retry.clone();
         let t0 = self.sim.now();
+        // Trace spans live on the dedicated retry track and are emitted
+        // only on this error path, so a clean run (no active FaultPlan,
+        // no timeouts) contains no `retry` events at all.
+        let trace_name = match op {
+            TransferOp::Read => "read",
+            TransferOp::Write => "write",
+        };
         for attempt in 1..=policy.max_retries {
             self.stats.transfer_retries.inc();
             self.sim
@@ -155,12 +163,26 @@ impl FarMemory {
                     self.stats
                         .retry_latency
                         .record(self.sim.now().saturating_since(t0));
+                    self.trace_evt(
+                        TRACK_RETRY,
+                        "retry",
+                        trace_name,
+                        t0,
+                        Some(("attempts", attempt as u64 + 1)),
+                    );
                     return Ok(lat);
                 }
                 Err(e) => last = e,
             }
         }
         self.stats.transfer_failures.inc();
+        self.trace_evt(
+            TRACK_RETRY,
+            "retry",
+            trace_name,
+            t0,
+            Some(("attempts", policy.max_retries as u64 + 1)),
+        );
         Err(FaultError {
             op,
             attempts: policy.max_retries + 1,

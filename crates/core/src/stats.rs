@@ -124,8 +124,15 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Clears every counter and distribution (used after a measurement
-    /// warmup phase).
+    /// Clears every counter and distribution.
+    ///
+    /// Deprecated: destructive resets only clear the stats this struct
+    /// owns — NIC and IPI counters keep their warmup samples, which is
+    /// exactly the bug class measurement windows remove. Take a
+    /// [`MetricsSnapshot`](crate::metrics::MetricsSnapshot) via
+    /// [`FarMemory::metrics`](crate::machine::FarMemory::metrics) and
+    /// compute a window instead.
+    #[deprecated(note = "take a MetricsSnapshot and compute a window instead of resetting")]
     pub fn reset(&self) {
         self.accesses.take();
         self.tlb_hits.take();

@@ -1,10 +1,12 @@
 //! The NIC / link model: full-duplex FIFO serializers with base latency.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
 
 use mage_sim::executor::Sleep;
 use mage_sim::stats::{Counter, Histogram};
 use mage_sim::time::{Nanos, SimTime};
+use mage_sim::trace::{Tracer, TRACK_NIC};
 use mage_sim::SimHandle;
 
 use crate::faults::{FaultInjector, FaultPlan, FaultStats, OpInjection, TransferError};
@@ -139,6 +141,9 @@ pub struct Nic {
     /// clean path never consults the plan, so a `FaultPlan::none()`
     /// schedule is bit-identical to a build without this layer.
     injector: Option<FaultInjector>,
+    /// Optional trace collector; `None` (the default) costs one branch
+    /// per posted operation.
+    tracer: RefCell<Option<Rc<Tracer>>>,
 }
 
 impl Nic {
@@ -158,7 +163,15 @@ impl Nic {
             tx: Direction::new(),
             stats: NicStats::default(),
             injector,
+            tracer: RefCell::new(None),
         }
+    }
+
+    /// Attaches a tracer: every successful transfer is recorded on
+    /// [`TRACK_NIC`] at post time (completion instants are fixed at post,
+    /// so the whole interval is known synchronously).
+    pub fn attach_tracer(&self, tracer: Rc<Tracer>) {
+        *self.tracer.borrow_mut() = Some(tracer);
     }
 
     /// The NIC configuration.
@@ -216,6 +229,16 @@ impl Nic {
                 self.stats.reads.inc();
                 self.stats.read_bytes.add(bytes);
                 self.stats.read_latency.record(done - now);
+                if let Some(t) = self.tracer.borrow().as_ref() {
+                    t.record(
+                        TRACK_NIC,
+                        "nic",
+                        "read",
+                        now.as_nanos(),
+                        done - now,
+                        Some(("bytes", bytes)),
+                    );
+                }
                 Ok(())
             }
         };
@@ -246,6 +269,16 @@ impl Nic {
                 self.stats.writes.inc();
                 self.stats.write_bytes.add(bytes);
                 self.stats.write_latency.record(done - now);
+                if let Some(t) = self.tracer.borrow().as_ref() {
+                    t.record(
+                        TRACK_NIC,
+                        "nic",
+                        "write",
+                        now.as_nanos(),
+                        done - now,
+                        Some(("bytes", bytes)),
+                    );
+                }
                 Ok(())
             }
         };

@@ -17,11 +17,12 @@
 //! on the target core; workload threads drain
 //! [`InterruptController::take_stolen`] and add it to their execution time.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use mage_sim::stats::{Counter, Histogram};
 use mage_sim::time::{Nanos, SimTime};
+use mage_sim::trace::{Tracer, TRACK_TLB};
 use mage_sim::SimHandle;
 
 use crate::tlb::Tlb;
@@ -109,6 +110,9 @@ pub struct InterruptController {
     endpoints: Vec<Endpoint>,
     tlbs: Vec<Rc<Tlb>>,
     stats: IpiStats,
+    /// Optional trace collector; `None` (the default) costs one branch
+    /// per shootdown round.
+    tracer: RefCell<Option<Rc<Tracer>>>,
 }
 
 impl InterruptController {
@@ -132,7 +136,16 @@ impl InterruptController {
             endpoints,
             tlbs,
             stats: IpiStats::default(),
+            tracer: RefCell::new(None),
         }
+    }
+
+    /// Attaches a tracer: each shootdown round is recorded on
+    /// [`TRACK_TLB`] as a first-send → last-ACK interval (the last ACK
+    /// instant is known when the round is posted, so the event is
+    /// recorded synchronously even though ACKs land later).
+    pub fn attach_tracer(&self, tracer: Rc<Tracer>) {
+        *self.tracer.borrow_mut() = Some(tracer);
     }
 
     /// The TLB of `core`.
@@ -207,6 +220,16 @@ impl InterruptController {
         self.stats
             .shootdown_latency
             .record(last_ack.saturating_since(start));
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.record(
+                TRACK_TLB,
+                "tlb",
+                "shootdown",
+                start.as_nanos(),
+                last_ack.saturating_since(start),
+                Some(("pages", vpns.len() as u64)),
+            );
+        }
         FlushTicket {
             sim: self.sim.clone(),
             done_at: last_ack,

@@ -25,7 +25,7 @@ pub mod tlb;
 pub mod topology;
 
 pub use addrspace::{AddressSpace, Vma, VmaLockModel};
-pub use ipi::{FlushTicket, InterruptController, IpiCostModel};
+pub use ipi::{FlushTicket, InterruptController, IpiCostModel, IpiStats};
 pub use pagetable::{PageTable, Pte, PAGE_SHIFT, PAGE_SIZE};
 pub use tlb::Tlb;
 pub use topology::{CoreId, Topology};

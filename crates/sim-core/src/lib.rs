@@ -10,7 +10,10 @@
 //!   statistics ([`sync::SimMutex`], [`sync::Semaphore`], [`sync::Event`],
 //!   [`sync::WaitQueue`]),
 //! - a **statistics** library with counters, time aggregates and
-//!   log-bucketed latency histograms ([`stats`]),
+//!   log-bucketed latency histograms ([`stats`]), with snapshot/delta
+//!   support for measurement windows,
+//! - a **virtual-time tracer** recording structured spans into per-track
+//!   ring buffers, exportable as Chrome `trace_event` JSON ([`trace`]),
 //! - a tiny deterministic **RNG** ([`rng::SplitMix64`]) for components that
 //!   must not depend on external crates.
 //!
@@ -41,6 +44,7 @@ pub mod stats;
 pub mod sync;
 pub mod sync_ext;
 pub mod time;
+pub mod trace;
 
 pub use executor::{JoinHandle, SimHandle, Simulation};
 pub use explore::{ExplorationPolicy, RunProgress};

@@ -4,11 +4,12 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use mage::{Access, FarMemory, MachineParams, SystemConfig};
+use mage::{Access, FarMemory, MachineParams, MetricsWindow, SystemConfig};
 use mage_mmu::{CoreId, Topology};
 use mage_sim::rng::SplitMix64;
 use mage_sim::stats::{Counter, Histogram};
 use mage_sim::time::{Nanos, SECS};
+use mage_sim::trace::Tracer;
 use mage_sim::Simulation;
 
 use crate::patterns::{Stream, WorkloadKind};
@@ -43,6 +44,9 @@ pub struct RunConfig {
     pub phase_change_at_op: Option<u64>,
     /// Record an ops-throughput timeline at this interval.
     pub sample_interval_ns: Option<Nanos>,
+    /// Attach a virtual-time tracer and export the run as Chrome
+    /// `trace_event` JSON in [`RunReport::trace_json`].
+    pub capture_trace: bool,
     /// Machine topology.
     pub topo: Topology,
 }
@@ -69,6 +73,7 @@ impl RunConfig {
             phase_change_at_ns: None,
             phase_change_at_op: None,
             sample_interval_ns: None,
+            capture_trace: false,
             topo: Topology::xeon_6348_dual(),
         }
     }
@@ -141,6 +146,9 @@ pub struct RunReport {
     pub aborted_faults: u64,
     /// Eviction victims re-inserted after a failed writeback.
     pub requeued_victims: u64,
+    /// Chrome `trace_event` JSON of the run, when
+    /// [`RunConfig::capture_trace`] was set.
+    pub trace_json: Option<String>,
 }
 
 impl RunReport {
@@ -187,14 +195,25 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
     } else {
         engine.populate(&vma);
     }
+    let tracer = cfg.capture_trace.then(|| {
+        let t = Tracer::new(sim.handle());
+        engine.attach_tracer(Rc::clone(&t));
+        t
+    });
 
     let ops_counter = Rc::new(Counter::new());
     let phase = Rc::new(Cell::new(0usize));
     let done = Rc::new(Cell::new(0usize));
     let timeline = Rc::new(RefCell::new(Vec::new()));
+    let sampled = Rc::new(Cell::new(0u64));
     let warmed = Rc::new(Cell::new(0usize));
     let start_line = Rc::new(mage_sim::sync::WaitQueue::new());
     let t_start = Rc::new(Cell::new(0u64));
+    // Start line of the measurement window, captured by the last thread
+    // to finish warmup. Replaces the destructive stats reset: the window
+    // covers every stat source (engine, NIC, IPIs, accounting), so warmup
+    // traffic can no longer leak into bandwidth or shootdown figures.
+    let start_snap = Rc::new(RefCell::new(None));
 
     // Phase-change trigger by virtual time (GUPS).
     if let Some(at) = cfg.phase_change_at_ns {
@@ -206,20 +225,23 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
         });
     }
 
-    // Throughput timeline sampler.
+    // Throughput timeline sampler. `sampled` tracks how many ops the
+    // pushed buckets cover so the final partial bucket can be flushed
+    // after the join (the sampler itself is parked mid-sleep when the
+    // last thread finishes and never sees the remainder).
     if let Some(interval) = cfg.sample_interval_ns {
         let h = sim.handle();
         let ops = Rc::clone(&ops_counter);
         let tl = Rc::clone(&timeline);
         let done = Rc::clone(&done);
+        let sampled = Rc::clone(&sampled);
         let threads = cfg.threads;
         sim.spawn(async move {
-            let mut last = 0u64;
             while done.get() < threads {
                 h.sleep(interval).await;
                 let cur = ops.get();
-                tl.borrow_mut().push((h.now().as_nanos(), cur - last));
-                last = cur;
+                tl.borrow_mut().push((h.now().as_nanos(), cur - sampled.get()));
+                sampled.set(cur);
             }
         });
     }
@@ -240,11 +262,12 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
         let warmed = Rc::clone(&warmed);
         let start_line = Rc::clone(&start_line);
         let t_start = Rc::clone(&t_start);
+        let start_snap = Rc::clone(&start_snap);
         let threads = cfg.threads;
         joins.push(sim.spawn(async move {
             let core = CoreId(t as u32);
             // Warmup: converge residency, then rendezvous at a start line
-            // where the last thread resets the statistics.
+            // where the last thread opens the measurement window.
             if warmup > 0 {
                 for _ in 0..warmup {
                     let op = stream.next_op();
@@ -257,7 +280,7 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
             }
             warmed.set(warmed.get() + 1);
             if warmed.get() == threads {
-                engine.stats().reset();
+                *start_snap.borrow_mut() = Some(engine.metrics().snapshot());
                 t_start.set(h.now().as_nanos());
                 start_line.wake_all();
             } else {
@@ -304,63 +327,75 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
     });
     engine.shutdown();
 
-    let runtime_ns = per_thread
-        .iter()
-        .map(|&(_, _, end)| end)
-        .max()
-        .unwrap_or(0)
-        .saturating_sub(t_start.get());
+    let end_abs = per_thread.iter().map(|&(_, _, end)| end).max().unwrap_or(0);
+    let runtime_ns = end_abs.saturating_sub(t_start.get());
+    // Flush the final partial bucket: block_on returns the instant the
+    // last thread finishes, before the sampler's next tick, so without
+    // this the trailing `total % interval` ops would vanish from the
+    // timeline and `sum(timeline) != total_ops`.
+    if cfg.sample_interval_ns.is_some() {
+        let cur = ops_counter.get();
+        if cur > sampled.get() {
+            timeline.borrow_mut().push((end_abs, cur - sampled.get()));
+        }
+    }
+    let start = start_snap
+        .borrow_mut()
+        .take()
+        .expect("rendezvous captured a start snapshot");
+    let window = engine.metrics().window_since(&start);
     let faults_per_thread: Vec<u64> = per_thread.iter().map(|&(f, _, _)| f).collect();
     let phase_switch_ns: Vec<Nanos> = per_thread.iter().map(|&(_, s, _)| s).collect();
     report_from(
-        &engine,
         cfg,
+        &window,
         runtime_ns,
         ops_counter.get(),
         faults_per_thread,
         phase_switch_ns,
         timeline,
+        tracer.map(|t| t.to_chrome_json()),
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn report_from(
-    engine: &FarMemory,
     cfg: &RunConfig,
+    w: &MetricsWindow,
     runtime_ns: Nanos,
     total_ops: u64,
     faults_per_thread: Vec<u64>,
     phase_switch_ns: Vec<Nanos>,
     timeline: Rc<RefCell<Vec<(Nanos, u64)>>>,
+    trace_json: Option<String>,
 ) -> RunReport {
-    let s = engine.stats();
-    let ipi = engine.interrupts().stats();
-    let free_wait = s.free_wait.borrow().clone();
     RunReport {
         system: cfg.system.name,
         runtime_ns,
         total_ops,
-        major_faults: s.major_faults.get(),
+        major_faults: w.major_faults,
         faults_per_thread,
-        fault_mean_ns: s.fault_latency.mean(),
-        fault_p50_ns: s.fault_latency.p50(),
-        fault_p99_ns: s.fault_latency.p99(),
-        breakdown: s.breakdown.means(),
-        sync_evictions: s.sync_evictions.get(),
-        evicted_pages: s.evicted_pages.get() + s.sync_evicted_pages.get(),
-        shootdown_mean_ns: ipi.shootdown_latency.mean(),
-        ipi_mean_ns: ipi.ipi_latency.mean(),
-        read_gbps: engine.nic().read_gbps(runtime_ns),
-        write_gbps: engine.nic().write_gbps(runtime_ns),
-        prefetches: s.prefetches.get(),
+        fault_mean_ns: w.fault_latency.mean(),
+        fault_p50_ns: w.fault_latency.p50(),
+        fault_p99_ns: w.fault_latency.p99(),
+        breakdown: w.breakdown_means(),
+        sync_evictions: w.sync_evictions,
+        evicted_pages: w.evicted_pages + w.sync_evicted_pages,
+        shootdown_mean_ns: w.shootdown_latency.mean(),
+        ipi_mean_ns: w.ipi_latency.mean(),
+        read_gbps: w.read_gbps(runtime_ns),
+        write_gbps: w.write_gbps(runtime_ns),
+        prefetches: w.prefetches,
         timeline: timeline.borrow().clone(),
         phase_switch_ns,
-        evict_cancels: s.evict_cancels.get(),
-        free_wait_count: free_wait.count(),
-        free_wait_mean_ns: free_wait.mean(),
-        transfer_retries: s.transfer_retries.get(),
-        transfer_failures: s.transfer_failures.get(),
-        aborted_faults: s.aborted_faults.get(),
-        requeued_victims: s.requeued_victims.get(),
+        evict_cancels: w.evict_cancels,
+        free_wait_count: w.free_wait.count(),
+        free_wait_mean_ns: w.free_wait.mean(),
+        transfer_retries: w.transfer_retries,
+        transfer_failures: w.transfer_failures,
+        aborted_faults: w.aborted_faults,
+        requeued_victims: w.requeued_victims,
+        trace_json,
     }
 }
 
@@ -387,6 +422,15 @@ pub struct OpenLoopReport {
     pub free_wait_max_ns: u64,
     /// p99 of the engine-level fault latency (excluding request queueing).
     pub fault_p99_ns: u64,
+    /// Requests the generator issued during the offered-load window.
+    pub issued_requests: u64,
+    /// Requests that completed by the end of the drain (in or out of the
+    /// window; their latencies are all in the distribution).
+    pub completed_requests: u64,
+    /// Requests still in flight when the bounded drain gave up — the
+    /// right-censored residue the latency distribution cannot see. Zero
+    /// whenever the drain finishes, i.e. at any sustainable load.
+    pub censored_requests: u64,
 }
 
 /// Drives the fault path open-loop at `rate_mops` for `duration_ns`,
@@ -422,6 +466,7 @@ pub fn run_open_loop_faults(
     let latency = Rc::new(Histogram::new());
     let completed = Rc::new(Counter::new());
     let issued = Rc::new(Counter::new());
+    let in_window = Rc::new(Counter::new());
 
     // The generator issues requests with exponential inter-arrivals,
     // spreading them round-robin over the worker cores.
@@ -430,6 +475,7 @@ pub fn run_open_loop_faults(
     let gen_latency = Rc::clone(&latency);
     let gen_completed = Rc::clone(&completed);
     let gen_issued = Rc::clone(&issued);
+    let gen_in_window = Rc::clone(&in_window);
     let base = vma.start_vpn;
     sim.spawn(async move {
         let rng = SplitMix64::new(seed);
@@ -448,32 +494,55 @@ pub fn run_open_loop_faults(
             let e = Rc::clone(&gen_engine);
             let lat = Rc::clone(&gen_latency);
             let comp = Rc::clone(&gen_completed);
+            let win = Rc::clone(&gen_in_window);
             let h2 = h.clone();
             h.spawn(async move {
                 let t0 = h2.now();
                 e.access(c, page, false).await;
                 lat.record(h2.now() - t0);
                 comp.inc();
+                if h2.now().as_nanos() <= duration_ns {
+                    win.inc();
+                }
             });
         }
     });
 
+    // Drain until every issued request completes (bounded): a fixed-length
+    // drain right-censors the tail — precisely the slow requests that an
+    // overloaded system queues past the cutoff — which deflates p99 at the
+    // loads where it matters most. The NIC byte count is sampled at the
+    // window edge so bandwidth covers the offered-load window only.
     let h = sim.handle();
-    sim.block_on(async move { h.sleep(duration_ns + 2 * SECS / 100).await });
+    let drain_completed = Rc::clone(&completed);
+    let drain_issued = Rc::clone(&issued);
+    let drain_engine = Rc::clone(&engine);
+    let window_read_bytes = sim.block_on(async move {
+        h.sleep(duration_ns).await;
+        let bytes = drain_engine.nic().stats().read_bytes.get();
+        let cutoff = duration_ns + 2 * SECS;
+        while drain_completed.get() < drain_issued.get() && h.now().as_nanos() < cutoff {
+            h.sleep(50_000).await;
+        }
+        bytes
+    });
     engine.shutdown();
 
     let free_wait = engine.stats().free_wait.borrow().clone();
     OpenLoopReport {
         offered_mops: rate_mops,
-        achieved_mops: completed.get() as f64 * 1e3 / duration_ns as f64,
+        achieved_mops: in_window.get() as f64 * 1e3 / duration_ns as f64,
         mean_ns: latency.mean(),
         p50_ns: latency.p50(),
         p99_ns: latency.p99(),
         sync_evictions: engine.stats().sync_evictions.get(),
-        read_gbps: engine.nic().read_gbps(duration_ns),
+        read_gbps: window_read_bytes as f64 * 8.0 / duration_ns as f64,
         free_waits: free_wait.count(),
         free_wait_max_ns: free_wait.max(),
         fault_p99_ns: engine.stats().fault_latency.p99(),
+        issued_requests: issued.get(),
+        completed_requests: completed.get(),
+        censored_requests: issued.get() - completed.get(),
     }
 }
 
@@ -485,6 +554,8 @@ pub fn run_raw_rdma(rate_mops: f64, duration_ns: Nanos, seed: u64) -> OpenLoopRe
     let nic = Rc::new(Nic::new(sim.handle(), NicConfig::bluefield2_200g()));
     let latency = Rc::new(Histogram::new());
     let completed = Rc::new(Counter::new());
+    let issued = Rc::new(Counter::new());
+    let in_window = Rc::new(Counter::new());
 
     // Background writers: keep the tx direction busy, mirroring eviction
     // traffic ("4 background threads constantly performing RDMA writes").
@@ -502,6 +573,8 @@ pub fn run_raw_rdma(rate_mops: f64, duration_ns: Nanos, seed: u64) -> OpenLoopRe
     let gen_nic = Rc::clone(&nic);
     let gen_latency = Rc::clone(&latency);
     let gen_completed = Rc::clone(&completed);
+    let gen_issued = Rc::clone(&issued);
+    let gen_in_window = Rc::clone(&in_window);
     sim.spawn(async move {
         let rng = SplitMix64::new(seed);
         let mean_gap_ns = 1e3 / rate_mops;
@@ -509,33 +582,54 @@ pub fn run_raw_rdma(rate_mops: f64, duration_ns: Nanos, seed: u64) -> OpenLoopRe
             let u = rng.next_f64();
             let gap = (-(1.0 - u).ln() * mean_gap_ns).max(1.0) as u64;
             h.sleep(gap).await;
+            gen_issued.inc();
             let nic = Rc::clone(&gen_nic);
             let lat = Rc::clone(&gen_latency);
             let comp = Rc::clone(&gen_completed);
+            let win = Rc::clone(&gen_in_window);
             let h2 = h.clone();
             h.spawn(async move {
                 let t0 = h2.now();
                 let _ = nic.post_read(4096).await;
                 lat.record(h2.now() - t0);
                 comp.inc();
+                if h2.now().as_nanos() <= duration_ns {
+                    win.inc();
+                }
             });
         }
     });
 
+    // Same uncensored-tail protocol as `run_open_loop_faults`: drain every
+    // issued read (bounded), window the byte count at the load cutoff.
     let h = sim.handle();
-    sim.block_on(async move { h.sleep(duration_ns + SECS / 100).await });
+    let drain_completed = Rc::clone(&completed);
+    let drain_issued = Rc::clone(&issued);
+    let drain_nic = Rc::clone(&nic);
+    let window_read_bytes = sim.block_on(async move {
+        h.sleep(duration_ns).await;
+        let bytes = drain_nic.stats().read_bytes.get();
+        let cutoff = duration_ns + 2 * SECS;
+        while drain_completed.get() < drain_issued.get() && h.now().as_nanos() < cutoff {
+            h.sleep(50_000).await;
+        }
+        bytes
+    });
 
     OpenLoopReport {
         offered_mops: rate_mops,
-        achieved_mops: completed.get() as f64 * 1e3 / duration_ns as f64,
+        achieved_mops: in_window.get() as f64 * 1e3 / duration_ns as f64,
         mean_ns: latency.mean(),
         p50_ns: latency.p50(),
         p99_ns: latency.p99(),
         sync_evictions: 0,
-        read_gbps: nic.read_gbps(duration_ns),
+        read_gbps: window_read_bytes as f64 * 8.0 / duration_ns as f64,
         free_waits: 0,
         free_wait_max_ns: 0,
         fault_p99_ns: latency.p99(),
+        issued_requests: issued.get(),
+        completed_requests: completed.get(),
+        censored_requests: issued.get() - completed.get(),
     }
 }
 
@@ -608,7 +702,7 @@ mod tests {
         let report = run_batch(&cfg);
         assert!(report.timeline.len() > 3);
         let total: u64 = report.timeline.iter().map(|&(_, o)| o).sum();
-        assert!(total <= report.total_ops);
+        assert_eq!(total, report.total_ops, "final partial bucket must be flushed");
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! Quickstart: drive the MAGE engine directly.
 //!
 //! Builds a small far-memory machine, touches a working set larger than
-//! local DRAM, and prints what the paging stack did.
+//! local DRAM, prints what the paging stack did (measured through a
+//! snapshot-delta [`MetricsWindow`]), and exports a virtual-time trace
+//! of the run to `target/quickstart_trace.json` — open it in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -22,11 +25,17 @@ fn main() {
         seed: 1,
     };
     let engine = FarMemory::launch(sim.handle(), SystemConfig::mage_lib(), params);
+    let tracer = Tracer::new(sim.handle());
+    engine.attach_tracer(Rc::clone(&tracer));
 
     // Map and place a 64 MiB region: it cannot fit locally, so the tail
     // starts in far memory.
     let vma = engine.mmap(16_384);
     engine.populate(&vma);
+
+    // Open the measurement window. Everything the report shows is the
+    // delta against this start line — no destructive resets.
+    let start = engine.metrics().snapshot();
 
     // Four threads stream through the region.
     let mut joins = Vec::new();
@@ -57,31 +66,42 @@ fn main() {
     });
     engine.shutdown();
 
-    let stats = engine.stats();
+    let w = engine.metrics().window_since(&start);
     let elapsed = sim.handle().now();
     println!("== MAGE quickstart ==");
     println!("virtual runtime        : {elapsed}");
-    println!("accesses               : {}", stats.accesses.get());
-    println!("tlb hits               : {}", stats.tlb_hits.get());
+    println!("accesses               : {}", w.accesses);
+    println!("tlb hits               : {}", w.tlb_hits);
     println!("major faults           : {total_faults}");
     println!(
         "mean fault latency     : {:.1} us",
-        stats.fault_latency.mean() / 1_000.0
+        w.fault_latency.mean() / 1_000.0
     );
     println!(
         "p99 fault latency      : {:.1} us",
-        stats.fault_latency.p99() as f64 / 1_000.0
+        w.fault_latency.p99() as f64 / 1_000.0
     );
     println!(
         "sync evictions         : {} (always 0 under MAGE's P1)",
-        stats.sync_evictions.get()
+        w.sync_evictions
     );
-    println!("pages evicted          : {}", stats.evicted_pages.get());
-    println!("dirty writebacks       : {}", stats.writebacks.get());
-    println!("clean reclaims         : {}", stats.clean_reclaims.get());
+    println!("pages evicted          : {}", w.evicted_pages);
+    println!("dirty writebacks       : {}", w.writebacks);
+    println!("clean reclaims         : {}", w.clean_reclaims);
     println!(
         "rdma read bandwidth    : {:.1} Gbps",
-        engine.nic().read_gbps(elapsed.as_nanos())
+        w.read_gbps(elapsed.as_nanos())
     );
-    assert!(stats.sync_evictions.get() == 0);
+    assert!(w.sync_evictions == 0);
+
+    // Export the virtual-time trace (fault phases, eviction stages, NIC
+    // transfers, TLB shootdowns) as Chrome trace_event JSON.
+    let trace = tracer.to_chrome_json();
+    validate_json(&trace).expect("trace export must be valid JSON");
+    let out = "target/quickstart_trace.json";
+    std::fs::write(out, &trace).expect("write trace JSON");
+    println!(
+        "trace                  : {out} ({} events, load in chrome://tracing)",
+        tracer.len()
+    );
 }

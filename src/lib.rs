@@ -49,11 +49,12 @@ pub mod prelude {
     pub use mage::{
         Access, AgingClock, BackendKind, CostModel, DisaggTier, EvictionPolicy,
         EvictionPolicyKind, FarBackend, FarMemory, FaultError, Fifo, IdealModel, MachineParams,
-        OsProfile, PrefetchPolicy, RdmaBackend, RetryPolicy, SecondChance, SystemConfig,
-        TransferOp,
+        MetricsRegistry, MetricsSnapshot, MetricsWindow, OsProfile, PrefetchPolicy, RdmaBackend,
+        RetryPolicy, SecondChance, SystemConfig, TransferOp,
     };
     pub use mage_fabric::{FaultPlan, TransferError};
     pub use mage_mmu::{CoreId, Topology};
+    pub use mage_sim::trace::{validate_json, TraceEvent, Tracer};
     pub use mage_sim::{SimHandle, Simulation};
     pub use mage_workloads::memcached::{run_memcached, MemcachedConfig, MemcachedReport};
     pub use mage_workloads::runner::{

@@ -244,6 +244,65 @@ fn crash_windows_fail_typed_and_recover() {
     assert!(out.failed_accesses > 0, "crash windows never surfaced a failure");
 }
 
+/// Retry spans are emitted only when the retry machinery actually runs:
+/// a clean link produces a trace with no `retry`-category events, while
+/// an active error-injecting [`FaultPlan`] produces them. Guards against
+/// the clean fast path growing tracing overhead (or phantom spans).
+#[test]
+fn retry_spans_appear_only_under_an_active_fault_plan() {
+    let traced_run = |plan: FaultPlan, seed: u64| {
+        let retry = RetryPolicy {
+            max_retries: 2,
+            ..RetryPolicy::default()
+        };
+        let system = SystemConfig::mage_lib().with_faults(plan).with_retry(retry);
+        let sim = Simulation::new();
+        let params = MachineParams {
+            topo: Topology::single_socket(CORES),
+            app_threads: THREADS,
+            local_pages: 256,
+            remote_pages: 4_096,
+            tlb_entries: 64,
+            seed,
+        };
+        let engine = FarMemory::launch(sim.handle(), system, params);
+        let tracer = Tracer::new(sim.handle());
+        engine.attach_tracer(std::rc::Rc::clone(&tracer));
+        let vma = engine.mmap(VMA_PAGES);
+        engine.populate(&vma);
+        let e = Rc::clone(&engine);
+        let v = vma.clone();
+        sim.block_on(async move {
+            for round in 0..2 {
+                for i in 0..v.pages {
+                    let core = CoreId((i % THREADS as u64) as u32);
+                    e.access(core, v.start_vpn + i, round == 0).await;
+                }
+            }
+        });
+        engine.shutdown();
+        tracer.to_chrome_json()
+    };
+
+    let clean = traced_run(
+        FaultPlan {
+            seed: 0xABCD,
+            ..FaultPlan::none()
+        },
+        3,
+    );
+    assert!(
+        !clean.contains("\"cat\":\"retry\""),
+        "clean link must not emit retry spans"
+    );
+
+    let faulty = traced_run(errors(0.5, 0xBADD), 3);
+    assert!(
+        faulty.contains("\"cat\":\"retry\""),
+        "50% error injection never reached the retry path"
+    );
+}
+
 /// Zero-amplitude plans take the clean fast path: no retries, no
 /// failures, no requeues, regardless of the plan seed.
 #[test]

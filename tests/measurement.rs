@@ -1,0 +1,133 @@
+//! Measurement-methodology regression tests: warmup must not pollute the
+//! reported window, and open-loop runs must not censor their tails.
+//!
+//! The bug class under test: `RunReport` used to be computed from
+//! *cumulative* counters after a destructive `EngineStats::reset()` at
+//! the warmup rendezvous. The reset only covered the engine's own
+//! counters — NIC byte counts and IPI/shootdown histograms kept their
+//! warmup samples and were then divided by the post-warmup runtime,
+//! inflating `read_gbps`/`write_gbps` and skewing `shootdown_mean_ns`
+//! for every warmed-up run. Reports now come from snapshot-delta
+//! [`MetricsWindow`]s, so a warmed-up run and a warmup-free run of the
+//! same steady-state workload must agree.
+
+use mage_far_memory::prelude::*;
+
+/// Relative difference, tolerant of tiny denominators.
+fn rel_diff(a: f64, b: f64) -> f64 {
+    (a - b).abs() / a.abs().max(b.abs()).max(1e-12)
+}
+
+/// A workload that is near eviction steady state from the first
+/// operation: uniform random access with a small resident set, so the
+/// miss rate is stationary and warmup changes nothing but the window.
+/// The one real cold-start transient — `populate` leaves its resident
+/// pages dirty (no remote copy yet), so the cold run writes back ~512
+/// extra pages — is amortized by a window two orders of magnitude
+/// larger.
+fn steady(warmup_ops: u64) -> RunConfig {
+    let mut cfg =
+        RunConfig::new(SystemConfig::mage_lib(), WorkloadKind::RandomGraph, 4, 8_192, 0.0625);
+    cfg.ops_per_thread = 32_000;
+    cfg.warmup_ops = warmup_ops;
+    cfg.topo = Topology::single_socket(10);
+    cfg
+}
+
+/// The headline regression: a warmed-up run of a steady-state workload
+/// must report the same bandwidth and shootdown figures as a warmup-free
+/// run. Under the old cumulative-counter reporting the warmed-up run
+/// inflated `read_gbps` by roughly `1 + warmup/measured` (warmup bytes
+/// divided by post-warmup runtime).
+#[test]
+fn warmup_does_not_pollute_the_measurement_window() {
+    let cold = run_batch(&steady(0));
+    let warm = run_batch(&steady(3_000));
+
+    assert!(cold.read_gbps > 0.0 && warm.read_gbps > 0.0);
+    assert!(
+        rel_diff(cold.read_gbps, warm.read_gbps) < 0.05,
+        "read_gbps diverges: cold {:.4} vs warm {:.4}",
+        cold.read_gbps,
+        warm.read_gbps
+    );
+    assert!(
+        rel_diff(cold.write_gbps, warm.write_gbps) < 0.05,
+        "write_gbps diverges: cold {:.4} vs warm {:.4}",
+        cold.write_gbps,
+        warm.write_gbps
+    );
+    assert!(
+        rel_diff(cold.shootdown_mean_ns, warm.shootdown_mean_ns) < 0.05,
+        "shootdown_mean_ns diverges: cold {:.1} vs warm {:.1}",
+        cold.shootdown_mean_ns,
+        warm.shootdown_mean_ns
+    );
+}
+
+/// The windowed fault count must cover the measured ops only: a warmed-up
+/// run reports the same per-op fault rate as a cold one, not the warmup's
+/// faults on top.
+#[test]
+fn windowed_fault_rate_matches_cold_run() {
+    let cold = run_batch(&steady(0));
+    let warm = run_batch(&steady(3_000));
+    let cold_rate = cold.major_faults as f64 / cold.total_ops as f64;
+    let warm_rate = warm.major_faults as f64 / warm.total_ops as f64;
+    assert!(
+        rel_diff(cold_rate, warm_rate) < 0.05,
+        "fault rate diverges: cold {cold_rate:.4} vs warm {warm_rate:.4}"
+    );
+    // The window's per-thread fault counts must sum to the windowed total.
+    assert_eq!(
+        warm.faults_per_thread.iter().sum::<u64>(),
+        warm.major_faults,
+        "per-thread fault counts disagree with the windowed total"
+    );
+}
+
+/// With sampling enabled the timeline must account for every measured op,
+/// including the final partial bucket that used to be dropped when the
+/// last thread finished mid-interval — also when a warmup phase precedes
+/// the window.
+#[test]
+fn timeline_conserves_ops_with_warmup() {
+    let mut cfg = steady(1_000);
+    cfg.sample_interval_ns = Some(200_000);
+    let report = run_batch(&cfg);
+    let total: u64 = report.timeline.iter().map(|&(_, o)| o).sum();
+    assert_eq!(
+        total, report.total_ops,
+        "sum(timeline buckets) must equal total measured ops"
+    );
+}
+
+/// At a trivially sustainable offered load the bounded drain completes
+/// every request: nothing is censored, and the issued/completed ledger
+/// balances.
+#[test]
+fn open_loop_tail_is_not_censored_at_low_load() {
+    let r = run_open_loop_faults(
+        SystemConfig::mage_lib(),
+        8,
+        200_000,
+        0.4,
+        0.2,
+        20_000_000,
+        1,
+    );
+    assert!(r.issued_requests > 0, "generator issued nothing");
+    assert_eq!(
+        r.censored_requests, 0,
+        "low-load run censored {} of {} requests",
+        r.censored_requests, r.issued_requests
+    );
+    assert_eq!(r.completed_requests, r.issued_requests);
+
+    let raw = run_raw_rdma(2.0, 20_000_000, 3);
+    assert_eq!(
+        raw.censored_requests, 0,
+        "low-load raw-RDMA run censored {} of {} requests",
+        raw.censored_requests, raw.issued_requests
+    );
+}
