@@ -19,6 +19,12 @@ cargo test -q --test chaos
 echo "==> mage-check smoke (schedule exploration + oracle, DESIGN.md §9)"
 cargo test -q --test check_explore
 
+echo "==> simsan suite (race detector end-to-end, DESIGN.md §10)"
+cargo test -q --test simsan
+
+echo "==> chaos + seams under the race detector (MAGE_SIMSAN=1)"
+MAGE_SIMSAN=1 cargo test -q --test chaos --test seams
+
 echo "==> cargo build --examples"
 cargo build --examples
 
@@ -38,9 +44,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> simlint (determinism rules, DESIGN.md §5)"
 cargo run -p simlint
 
-echo "==> simlint self-check (fixture must fail)"
+echo "==> simlint self-check (fixtures must fail)"
 if cargo run -q -p simlint -- crates/simlint/fixtures/violations.rs >/dev/null 2>&1; then
     echo "error: simlint accepted the seeded violation fixture" >&2
+    exit 1
+fi
+if cargo run -q -p simlint -- crates/simlint/fixtures/stats_missing.rs >/dev/null 2>&1; then
+    echo "error: simlint accepted the unregistered-stat fixture" >&2
     exit 1
 fi
 

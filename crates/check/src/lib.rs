@@ -194,6 +194,10 @@ pub struct CheckOptions {
     /// (`SystemConfig::with_broken_settlement`) to prove the oracle and
     /// shrinker catch a real defect.
     pub break_settlement: bool,
+    /// Test-only: plant the unlocked PTE re-publish bug
+    /// (`SystemConfig::with_broken_publish`) to prove the simsan race
+    /// oracle catches an ordering defect no functional check can see.
+    pub break_publish: bool,
 }
 
 impl Default for CheckOptions {
@@ -205,6 +209,7 @@ impl Default for CheckOptions {
             eviction_batch: 16,
             max_polls_per_phase: 4_000_000,
             break_settlement: false,
+            break_publish: false,
         }
     }
 }
@@ -280,6 +285,12 @@ pub enum Violation {
         /// Polls spent before the budget stopped the run.
         polls: u64,
     },
+    /// The simsan happens-before detector found two unordered accesses
+    /// to the same shadow-tracked word.
+    DataRace {
+        /// The fully rendered race report (both sites, tasks, clocks).
+        report: String,
+    },
 }
 
 impl Violation {
@@ -293,6 +304,7 @@ impl Violation {
             Violation::IllegalTransition { .. } => "model-transition",
             Violation::ModelMismatch { .. } => "model-mismatch",
             Violation::Runaway { .. } => "runaway",
+            Violation::DataRace { .. } => "data-race",
         }
     }
 }
@@ -328,6 +340,7 @@ impl std::fmt::Display for Violation {
             Violation::Runaway { polls } => {
                 write!(f, "runaway schedule: poll budget exhausted after {polls} polls")
             }
+            Violation::DataRace { report } => write!(f, "{report}"),
         }
     }
 }
@@ -350,9 +363,18 @@ pub fn run_cell(cell: &Cell, opts: &CheckOptions) -> Result<CellReport, Violatio
     if opts.break_settlement {
         cfg = cfg.with_broken_settlement();
     }
+    if opts.break_publish {
+        cfg = cfg.with_broken_publish();
+    }
     let cores = (cell.threads + cfg.max_evictors) as u32;
 
     let sim = Simulation::with_policy(cell.exploration_policy());
+    // Simsan rides along as one more oracle: the detector never perturbs
+    // the schedule, so the cell still replays bit-for-bit. Collect mode
+    // turns the first race into a Violation instead of a panic. Enabled
+    // before launch so the engine's shadow regions bind to it.
+    let race = sim.enable_race_detection();
+    race.set_mode(mage_sim::race::RaceMode::Collect);
     let params = MachineParams {
         topo: Topology::single_socket(cores),
         app_threads: cell.threads,
@@ -401,9 +423,15 @@ pub fn run_cell(cell: &Cell, opts: &CheckOptions) -> Result<CellReport, Violatio
                 polls: progress.polls,
             });
         }
-        // Quiescent point: whole-machine invariants, then the
+        // Quiescent point: the race oracle first (a race is the most
+        // specific evidence), then whole-machine invariants, then the
         // differential model (its own transition log first, then the
         // PTE crosscheck).
+        if let Some(report) = race.take_reports().into_iter().next() {
+            return Err(Violation::DataRace {
+                report: report.to_string(),
+            });
+        }
         let ctx = CheckCtx {
             engine: &engine,
             vma: &vma,
@@ -555,5 +583,17 @@ mod tests {
         };
         let err = run_cell(&Cell::default(), &opts).unwrap_err();
         assert_eq!(err.name(), "settlement", "got {err}");
+    }
+
+    #[test]
+    fn broken_publish_is_caught_as_a_data_race() {
+        let opts = CheckOptions {
+            break_publish: true,
+            ..quick_opts()
+        };
+        let err = run_cell(&Cell::default(), &opts).unwrap_err();
+        assert_eq!(err.name(), "data-race", "got {err}");
+        let text = err.to_string();
+        assert!(text.contains("data race on pte["), "{text}");
     }
 }

@@ -191,6 +191,16 @@ pub struct SystemConfig {
     /// a real, historically observed bug class. Never set in presets.
     #[doc(hidden)]
     pub break_settlement: bool,
+    /// Test-only fault: after a reclaim batch is finalized (PTEs
+    /// unlocked, waiters woken), redundantly re-publish the settled PTE
+    /// words *without* holding their lock bits. The rewritten values are
+    /// identical, so no functional test can see it — but the unlocked
+    /// writes race with the next faulter's install or the next unmap of
+    /// the same page. Used by the simsan tests to prove the race
+    /// detector catches an ordering bug end-to-end. Never set in
+    /// presets.
+    #[doc(hidden)]
+    pub break_publish: bool,
 }
 
 impl SystemConfig {
@@ -216,6 +226,7 @@ impl SystemConfig {
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
             break_settlement: false,
+            break_publish: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::unikernel(), true),
         }
@@ -247,6 +258,7 @@ impl SystemConfig {
             },
             faults: FaultPlan::none(),
             break_settlement: false,
+            break_publish: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::mage_lnx(), true),
         }
@@ -275,6 +287,7 @@ impl SystemConfig {
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
             break_settlement: false,
+            break_publish: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::linux_bare_metal(), false),
         }
@@ -304,6 +317,7 @@ impl SystemConfig {
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
             break_settlement: false,
+            break_publish: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::unikernel(), true),
         }
@@ -334,6 +348,7 @@ impl SystemConfig {
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
             break_settlement: false,
+            break_publish: false,
             retry: RetryPolicy::default(),
             costs: CostModel::ideal(),
         }
@@ -391,6 +406,15 @@ impl SystemConfig {
     #[doc(hidden)]
     pub fn with_broken_settlement(mut self) -> Self {
         self.break_settlement = true;
+        self
+    }
+
+    /// Test-only: deliberately re-publishes settled PTEs without their
+    /// lock bits held (see [`SystemConfig::break_publish`]). For the
+    /// simsan oracle tests; never use in experiments.
+    #[doc(hidden)]
+    pub fn with_broken_publish(mut self) -> Self {
+        self.break_publish = true;
         self
     }
 }

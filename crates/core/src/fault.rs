@@ -128,12 +128,17 @@ impl FarMemory {
     /// entry point: TLB hit, hardware walk, or full page fault.
     pub async fn access(&self, core: CoreId, vpn: u64, write: bool) -> Access {
         self.stats.accesses.inc();
+        // Stats counters model relaxed atomics: merged, never reported.
+        mage_sim::racecheck!(self.shadow_stats, atomic 0);
         // Interrupt handling (TLB shootdown IPIs) steals time from this
         // core's thread; account for it before the access proceeds.
         let stolen = self.ic.take_stolen(core);
         if stolen > 0 {
             self.sim.sleep(stolen).await;
         }
+        // TLB entries are hardware state: fills and lookups on different
+        // cores are racy by design (atomic class).
+        mage_sim::racecheck!(self.shadow_tlb, atomic vpn);
         if self.ic.tlb(core).lookup(vpn) {
             self.stats.tlb_hits.inc();
             if write {
@@ -147,6 +152,7 @@ impl FarMemory {
             self.pt.update(vpn, |p| {
                 p.with_accessed(true).with_dirty(p.dirty() || write)
             });
+            mage_sim::racecheck!(self.shadow_tlb, atomic vpn);
             self.ic.tlb(core).fill(vpn);
             self.stats.minor_walks.inc();
             // Readahead retrigger: the first touch of a prefetched page is
@@ -187,6 +193,7 @@ impl FarMemory {
                 self.pt.update(vpn, |p| {
                     p.with_accessed(true).with_dirty(p.dirty() || write)
                 });
+                mage_sim::racecheck!(self.shadow_tlb, atomic vpn);
                 self.ic.tlb(core).fill(vpn);
                 self.stats.prefetch_inflight_hits.inc();
                 return Ok(ctx.settle_early(self, core, vpn));
@@ -196,6 +203,9 @@ impl FarMemory {
                 // re-map the still-intact frame (swap-cache refault).
                 let cancelled = self.evicting.borrow_mut().remove(&vpn);
                 if let Some((frame, _gen)) = cancelled {
+                    // Claiming the evicting-map entry transfers ownership
+                    // of the PTE lock bit from the evictor to this task.
+                    self.pt.shadow_lock(vpn);
                     self.sim.sleep(costs.os.pte_update_ns).await;
                     // The remote copy may be stale, so the page must be
                     // considered dirty from here on.
@@ -203,7 +213,9 @@ impl FarMemory {
                         vpn,
                         Pte::present(frame).with_accessed(true).with_dirty(true),
                     );
+                    self.pt.shadow_unlock(vpn);
                     self.acct.insert(core.index(), vpn).await;
+                    mage_sim::racecheck!(self.shadow_tlb, atomic vpn);
                     self.ic.tlb(core).fill(vpn);
                     self.wake_page(vpn);
                     self.stats.evict_cancels.inc();
@@ -297,6 +309,7 @@ impl FarMemory {
                 .with_accessed(true)
                 .with_dirty(write || !was_remote),
         );
+        self.pt.shadow_unlock(vpn);
         self.emit(PageEvent::Installed { vpn, frame });
         let t_a = self.sim.now();
         self.acct.insert(core.index(), vpn).await;
@@ -304,6 +317,7 @@ impl FarMemory {
             start: t_a,
             dur: self.sim.now().saturating_since(t_a),
         });
+        mage_sim::racecheck!(self.shadow_tlb, atomic vpn);
         self.ic.tlb(core).fill(vpn);
         self.wake_page(vpn);
 

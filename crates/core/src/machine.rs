@@ -24,6 +24,7 @@ use mage_mmu::{
     AddressSpace, CoreId, InterruptController, PageTable, Pte, Tlb, Topology, Vma, PAGE_SIZE,
 };
 use mage_palloc::LocalAllocator;
+use mage_sim::race::ShadowRegion;
 use mage_sim::sync::WaitQueue;
 use mage_sim::time::{Nanos, SimTime};
 use mage_sim::trace::Tracer;
@@ -140,6 +141,13 @@ pub struct FarMemory {
     /// Optional virtual-time tracer (see [`mage_sim::trace`]); `None` by
     /// default, in which case every recording site is one branch.
     pub(crate) tracer: RefCell<Option<Rc<Tracer>>>,
+    /// Simsan shadow state over per-core TLB entries (atomic-class: TLB
+    /// fills/lookups model MMU hardware, not software writes). Inert
+    /// unless race detection is enabled on the simulation.
+    pub(crate) shadow_tlb: ShadowRegion,
+    /// Simsan shadow state over engine statistics (atomic-class: counter
+    /// bumps model relaxed atomics).
+    pub(crate) shadow_stats: ShadowRegion,
     pub(crate) self_ref: RefCell<Weak<FarMemory>>,
 }
 
@@ -220,10 +228,16 @@ impl FarMemory {
             retry_rng: rng::stream(params.seed, cfg.faults.seed),
             events: EventTap::default(),
             tracer: RefCell::new(None),
+            shadow_tlb: ShadowRegion::new(&sim, "tlb"),
+            shadow_stats: ShadowRegion::new(&sim, "stats"),
             self_ref: RefCell::new(Weak::new()),
             cfg,
         });
         *engine.self_ref.borrow_mut() = Rc::downgrade(&engine);
+        // PTE words are the engine's primary shared state; route every
+        // page-table access through the race detector's shadow region
+        // (inert when detection is disabled).
+        engine.pt.attach_shadow(ShadowRegion::new(&sim, "pte"));
 
         // Launch the background eviction threads and, for Hermit-style
         // feedback-directed asynchrony, the scaling controller.

@@ -142,6 +142,7 @@ impl FarMemory {
         // pages): enough grace not to be reclaimed before first touch,
         // while a wrong guess still ages out on the next scan.
         self.pt.set(vpn, Pte::present(frame).with_accessed(true));
+        self.pt.shadow_unlock(vpn);
         self.emit(PageEvent::Installed { vpn, frame });
         self.acct.insert(core.index(), vpn).await;
         self.wake_page(vpn);

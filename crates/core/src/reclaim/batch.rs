@@ -78,10 +78,17 @@ impl FarMemory {
         let rpn = self.backend.alloc_slot(direct_rpn).await?;
         let frame = pte.payload();
         let dirty = pte.dirty();
+        // The set below both rewrites the word and takes its lock bit:
+        // tell the detector the lock edge comes first so the write is
+        // inside the critical section.
+        self.pt.shadow_lock(vpn);
         self.pt.set(vpn, Pte::remote(rpn).with_locked(true));
         let gen = self.evict_gen.get();
         self.evict_gen.set(gen + 1);
         self.evicting.borrow_mut().insert(vpn, (frame, gen));
+        // Publish the evicting-map entry: the fault path's cancel branch
+        // reads it without holding the PTE lock.
+        self.pt.shadow_publish(vpn);
         self.stats.unmapped_pages.inc();
         self.emit(PageEvent::Unmapped { vpn, frame });
         Some(EvictPage {
@@ -237,11 +244,13 @@ impl FarMemory {
         debug_assert!(pte.is_remote() && pte.locked(), "requeue of a settled page");
         let rpn = pte.payload();
         self.sim.sleep(self.cfg.costs.os.pte_update_ns).await;
-        // Dirty: the only valid copy is local again.
+        // Dirty: the only valid copy is local again. The set rewrites the
+        // word while the lock bit (held since unmap) clears: unlock after.
         self.pt.set(
             page.vpn,
             Pte::present(page.frame).with_accessed(true).with_dirty(true),
         );
+        self.pt.shadow_unlock(page.vpn);
         self.acct.insert(core.index(), page.vpn).await;
         self.wake_page(page.vpn);
         self.backend.release_slot(rpn).await;
@@ -263,6 +272,7 @@ impl FarMemory {
     ) -> usize {
         let t0 = self.sim.now();
         let mut frames = Vec::with_capacity(batch.len());
+        let mut settled = Vec::new();
         for page in batch {
             // A concurrent refault may have cancelled this page's
             // eviction and reclaimed the frame — and the page may even be
@@ -289,15 +299,30 @@ impl FarMemory {
                 );
             }
             self.pt.update(page.vpn, |p| p.with_locked(false));
+            self.pt.shadow_unlock(page.vpn);
             self.wake_page(page.vpn);
             self.emit(PageEvent::Reclaimed {
                 vpn: page.vpn,
                 frame: page.frame,
             });
+            if self.cfg.break_publish {
+                settled.push(page.vpn);
+            }
             frames.push(page.frame);
         }
         self.alloc.free_batch(core.index(), &frames).await;
         self.free_waiters.wake_all();
+        // Planted bug (test-only, `break_publish`): redundantly re-publish
+        // the settled PTE words *after* dropping their lock bits and
+        // waking waiters. The rewritten values are identical, so no
+        // functional test can tell — but each `set` is an unlocked plain
+        // write that races with the next fault-in install (or unmap) of
+        // the same page. Only the race detector can see it.
+        if self.cfg.break_publish {
+            for &vpn in &settled {
+                self.pt.set(vpn, self.pt.get(vpn));
+            }
+        }
         self.stats.eviction_batches.inc();
         // Count only frames actually reclaimed: pages cancelled mid-batch
         // by a refault are accounted under `evict_cancelled_pages`, never

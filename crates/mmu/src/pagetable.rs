@@ -19,8 +19,34 @@
 //!
 //! The API is copy-in/copy-out (`get`/`set`/`update`) so no references
 //! escape the internal arena; all methods are `&self`.
+//!
+//! # Race detection
+//!
+//! PTE words are the central racy-by-design state of the whole engine:
+//! the fault path and the eviction path mutate them from different
+//! simulated cores, synchronized only by the embedded LOCKED bit. When a
+//! [`ShadowRegion`] is attached (see [`PageTable::attach_shadow`] and
+//! `mage_sim::race`), every access is classified for the simsan
+//! happens-before detector:
+//!
+//! - [`get`](PageTable::get) / [`update`](PageTable::update) are
+//!   *atomic-class* (lock-free `READ_ONCE`/`SET_BIT`-style single-word
+//!   operations — the hardware a/d-bit updates and the dedup-loop reads);
+//! - [`set`](PageTable::set) is a *plain write* that must be ordered by
+//!   the lock protocol;
+//! - [`try_lock`](PageTable::try_lock) / [`unlock`](PageTable::unlock)
+//!   take acquire/release edges on the per-word lock, and callers whose
+//!   lock transitions are implicit in a `set` (unmap writes
+//!   `remote+locked`, install writes `present+unlocked`) mark them with
+//!   [`shadow_lock`](PageTable::shadow_lock) /
+//!   [`shadow_unlock`](PageTable::shadow_unlock) /
+//!   [`shadow_publish`](PageTable::shadow_publish).
+//!
+//! Without an attached region every check is a single branch.
 
 use std::cell::RefCell;
+
+use mage_sim::race::ShadowRegion;
 
 /// log2 of the page size.
 pub const PAGE_SHIFT: u32 = 12;
@@ -130,6 +156,9 @@ pub struct PageTable {
     interior: RefCell<Vec<[u32; FANOUT]>>,
     /// Leaf nodes of raw PTE words.
     leaves: RefCell<Vec<[u64; FANOUT]>>,
+    /// Simsan shadow state over PTE words, indexed by vpn (inert until
+    /// [`PageTable::attach_shadow`]).
+    shadow: RefCell<ShadowRegion>,
 }
 
 impl Default for PageTable {
@@ -144,7 +173,15 @@ impl PageTable {
         PageTable {
             interior: RefCell::new(vec![[0; FANOUT]]),
             leaves: RefCell::new(Vec::new()),
+            shadow: RefCell::new(ShadowRegion::disabled()),
         }
+    }
+
+    /// Attaches simsan shadow state: from here on every PTE access is
+    /// classified and checked (see the module docs). Attach before the
+    /// simulation runs; pass [`ShadowRegion::disabled`] to detach.
+    pub fn attach_shadow(&self, region: ShadowRegion) {
+        *self.shadow.borrow_mut() = region;
     }
 
     fn slot(vpn: u64, level: u32) -> usize {
@@ -181,7 +218,12 @@ impl PageTable {
     }
 
     /// Reads the entry for `vpn` ([`Pte::NONE`] if the path is absent).
+    ///
+    /// Atomic-class for race detection: a lock-free `READ_ONCE`-style
+    /// single-word read (the dedup-loop and policy probes).
+    #[track_caller]
     pub fn get(&self, vpn: u64) -> Pte {
+        self.shadow.borrow().on_atomic(vpn);
         match self.leaf_of(vpn, false) {
             Some((leaf, slot)) => Pte(self.leaves.borrow()[leaf][slot]),
             None => Pte::NONE,
@@ -189,14 +231,25 @@ impl PageTable {
     }
 
     /// Writes the entry for `vpn`, creating intermediate levels.
+    ///
+    /// Plain-write-class for race detection: installs and unmaps must be
+    /// ordered by the PTE lock protocol, so unordered concurrent `set`s
+    /// are reported as data races when a shadow region is attached.
+    #[track_caller]
     pub fn set(&self, vpn: u64, pte: Pte) {
+        self.shadow.borrow().on_write(vpn);
         let (leaf, slot) = self.leaf_of(vpn, true).expect("create never fails");
         self.leaves.borrow_mut()[leaf][slot] = pte.0;
     }
 
     /// Atomically (w.r.t. the simulation) applies `f` to the entry for
     /// `vpn` and returns the *previous* value.
+    ///
+    /// Atomic-class for race detection: the hardware's accessed/dirty-bit
+    /// RMWs and the lock-bit transitions are racy by design.
+    #[track_caller]
     pub fn update(&self, vpn: u64, f: impl FnOnce(Pte) -> Pte) -> Pte {
+        self.shadow.borrow().on_atomic(vpn);
         let (leaf, slot) = self.leaf_of(vpn, true).expect("create never fails");
         let mut leaves = self.leaves.borrow_mut();
         let old = Pte(leaves[leaf][slot]);
@@ -207,16 +260,49 @@ impl PageTable {
     /// Tries to set the lock bit; returns true on success (bit was clear).
     ///
     /// This is the PTE-embedded fault-deduplication lock of DiLOS / the
-    /// MAGE-Lib unified page table (§5.2).
+    /// MAGE-Lib unified page table (§5.2). Winning the bit takes an
+    /// acquire edge on the word's lock for race detection.
+    #[track_caller]
     pub fn try_lock(&self, vpn: u64) -> bool {
         let old = self.update(vpn, |p| p.with_locked(true));
-        !old.locked()
+        let won = !old.locked();
+        if won {
+            self.shadow.borrow().lock(vpn);
+        }
+        won
     }
 
-    /// Clears the lock bit.
+    /// Clears the lock bit (a release edge on the word's lock).
+    #[track_caller]
     pub fn unlock(&self, vpn: u64) {
         let old = self.update(vpn, |p| p.with_locked(false));
         debug_assert!(old.locked(), "unlock of unlocked pte {vpn:#x}");
+        self.shadow.borrow().unlock(vpn);
+    }
+
+    /// Acquire edge on `vpn`'s word-lock for lock transitions implicit in
+    /// a [`set`](PageTable::set) (the eviction unmap writes
+    /// `remote+locked`; the refault-cancel takeover claims the eviction's
+    /// lock through the `evicting` map).
+    #[track_caller]
+    pub fn shadow_lock(&self, vpn: u64) {
+        self.shadow.borrow().lock(vpn);
+    }
+
+    /// Release edge on `vpn`'s word-lock for unlock transitions implicit
+    /// in a [`set`](PageTable::set) (installing a `present+unlocked`
+    /// value, or settling `remote+unlocked` via `update`).
+    #[track_caller]
+    pub fn shadow_unlock(&self, vpn: u64) {
+        self.shadow.borrow().unlock(vpn);
+    }
+
+    /// Release edge on `vpn`'s word-lock *without* unlocking: the unmap
+    /// publishes its `remote+locked` write so a refault-cancel that takes
+    /// the lock over observes it ordered.
+    #[track_caller]
+    pub fn shadow_publish(&self, vpn: u64) {
+        self.shadow.borrow().publish(vpn);
     }
 
     /// Number of allocated interior + leaf nodes (footprint estimate).

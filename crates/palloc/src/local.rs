@@ -9,6 +9,7 @@
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 
+use mage_sim::race::ShadowRegion;
 use mage_sim::stats::{Counter, Histogram};
 use mage_sim::sync::{LockStats, SimMutex};
 use mage_sim::time::Nanos;
@@ -83,6 +84,11 @@ pub struct LocalAllocator {
     shared_queue: SimMutex<VecDeque<u64>>,
     free_count: Cell<u64>,
     stats: LocalAllocStats,
+    /// Simsan shadow over the per-core caches (index = core) and the
+    /// `free_count` watermark (index = cores). Atomic class: the hermit
+    /// preset overlaps evictor cores with app cores, and the watermark is
+    /// a racy-by-design relaxed counter.
+    shadow: ShadowRegion,
 }
 
 impl LocalAllocator {
@@ -103,8 +109,15 @@ impl LocalAllocator {
             free_count: Cell::new(nframes),
             stats: LocalAllocStats::default(),
             costs,
+            shadow: ShadowRegion::new(&sim, "palloc"),
             sim,
         }
+    }
+
+    /// Shadow index of the `free_count` watermark (one past the per-core
+    /// cache indices).
+    fn watermark_idx(&self) -> usize {
+        self.per_core.len()
     }
 
     /// The stack in use.
@@ -152,6 +165,7 @@ impl LocalAllocator {
         };
         match frame {
             Some(_) => {
+                mage_sim::racecheck!(self.shadow, atomic self.watermark_idx());
                 self.free_count.set(self.free_count.get() - 1);
                 self.stats
                     .alloc_latency
@@ -170,8 +184,10 @@ impl LocalAllocator {
     }
 
     async fn alloc_cached(&self, core: usize, use_shared_queue: bool) -> Option<u64> {
-        // Fast path: the core-local cache.
+        // Fast path: the core-local cache. Atomic class: evictors free
+        // into caches they share with app threads under some presets.
         self.sim.sleep(self.costs.cache_op_ns).await;
+        mage_sim::racecheck!(self.shadow, atomic core);
         if let Some(f) = self.per_core[core].borrow_mut().pop() {
             self.stats.cache_hits.inc();
             return Some(f);
@@ -192,6 +208,7 @@ impl LocalAllocator {
             if !grabbed.is_empty() {
                 self.stats.queue_refills.inc();
                 let first = grabbed.pop().expect("non-empty");
+                mage_sim::racecheck!(self.shadow, atomic core);
                 self.per_core[core].borrow_mut().extend(grabbed);
                 return Some(first);
             }
@@ -207,6 +224,7 @@ impl LocalAllocator {
             buddy.alloc_batch(self.costs.batch, &mut refill);
         }
         let first = refill.pop()?;
+        mage_sim::racecheck!(self.shadow, atomic core);
         self.per_core[core].borrow_mut().extend(refill);
         Some(first)
     }
@@ -233,6 +251,7 @@ impl LocalAllocator {
                 // Free into the local cache, then drain the excess to the
                 // buddy (Linux pcp high-watermark behaviour).
                 self.sim.sleep(self.costs.cache_op_ns).await;
+                mage_sim::racecheck!(self.shadow, atomic core);
                 let drain: Vec<u64> = {
                     let mut cache = self.per_core[core].borrow_mut();
                     cache.extend_from_slice(frames);
@@ -260,6 +279,7 @@ impl LocalAllocator {
                 q.extend(frames.iter().copied());
             }
         }
+        mage_sim::racecheck!(self.shadow, atomic self.watermark_idx());
         self.free_count
             .set(self.free_count.get() + frames.len() as u64);
     }

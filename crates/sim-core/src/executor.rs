@@ -23,6 +23,7 @@ use std::task::{Context, Poll, Wake, Waker};
 
 use crate::explore::{ExplorationPolicy, Explorer, RunProgress};
 use crate::lockdep::{LockDep, TaskKey, MAIN_TASK};
+use crate::race::{CurrentGuard, RaceDetector};
 use crate::time::{Nanos, SimTime};
 
 type TaskId = usize;
@@ -68,6 +69,9 @@ struct Task {
     /// True while the task id sits in the executor's ready queue, to
     /// de-duplicate redundant wakes.
     enqueued: bool,
+    /// simsan join-sync id released when the task completes (0 when the
+    /// race detector is disabled).
+    race_join: u32,
 }
 
 #[derive(PartialEq, Eq, PartialOrd, Ord)]
@@ -95,6 +99,8 @@ struct ExecCore {
     explorer: Explorer,
     /// Cumulative task polls, for runaway-schedule bounding.
     polls: Cell<u64>,
+    /// The simsan race detector, if enabled (see [`crate::race`]).
+    race: RefCell<Option<Rc<RaceDetector>>>,
 }
 
 impl ExecCore {
@@ -114,6 +120,7 @@ impl ExecCore {
             lockdep: LockDep::default(),
             explorer: Explorer::new(policy),
             polls: Cell::new(0),
+            race: RefCell::new(None),
         })
     }
 
@@ -131,7 +138,17 @@ impl ExecCore {
         }
     }
 
-    fn spawn(self: &Rc<Self>, future: LocalFuture) -> TaskId {
+    /// Spawns a task; returns its (recycled) slot id and the simsan
+    /// join-sync id (0 when the detector is disabled).
+    fn spawn(self: &Rc<Self>, future: LocalFuture) -> (TaskId, u32) {
+        // Fork edge: the spawner's clock happens-before everything the
+        // child does. Recorded before the slot id is even assigned, in
+        // the spawner's context.
+        let race = self.race.borrow().clone();
+        let (fork_sync, join_sync) = match &race {
+            Some(det) => det.fork(),
+            None => (0, 0),
+        };
         let id = match self.free_ids.borrow_mut().pop() {
             Some(id) => id,
             None => {
@@ -143,10 +160,14 @@ impl ExecCore {
         self.tasks.borrow_mut()[id] = Some(Task {
             future: Some(future),
             enqueued: true,
+            race_join: join_sync,
         });
+        if let Some(det) = &race {
+            det.task_begin(id as u64, fork_sync);
+        }
         self.live_tasks.set(self.live_tasks.get() + 1);
         self.ready.borrow_mut().push_back(id);
-        id
+        (id, join_sync)
     }
 
     fn register_timer(&self, deadline: SimTime, waker: Waker) -> u64 {
@@ -215,15 +236,15 @@ impl ExecCore {
         true
     }
 
-    fn poll_one(self: &Rc<Self>, id: TaskId) {
-        let mut future = {
+    fn poll_one(self: &Rc<Self>, id: TaskId, race: Option<&Rc<RaceDetector>>) {
+        let (mut future, race_join) = {
             let mut tasks = self.tasks.borrow_mut();
             let Some(Some(task)) = tasks.get_mut(id) else {
                 return;
             };
             task.enqueued = false;
             match task.future.take() {
-                Some(f) => f,
+                Some(f) => (f, task.race_join),
                 None => return,
             }
         };
@@ -233,10 +254,20 @@ impl ExecCore {
         }));
         let mut cx = Context::from_waker(&waker);
         self.current.set(Some(id));
+        if let Some(det) = race {
+            det.set_now(self.now.get().as_nanos());
+            det.enter(id as u64);
+        }
         let polled = future.as_mut().poll(&mut cx);
+        if let Some(det) = race {
+            det.exit();
+        }
         self.current.set(None);
         match polled {
             Poll::Ready(()) => {
+                if let Some(det) = race {
+                    det.task_end(id as u64, race_join);
+                }
                 self.tasks.borrow_mut()[id] = None;
                 self.free_ids.borrow_mut().push(id);
                 self.live_tasks.set(self.live_tasks.get() - 1);
@@ -262,6 +293,32 @@ impl ExecCore {
         stop: &dyn Fn() -> bool,
         max_polls: Option<u64>,
     ) -> bool {
+        // simsan world edges: everything main did before this run
+        // happens-before every task step inside it, and every task step
+        // inside it happens-before whatever main does after it returns.
+        // The guard publishes the detector to handle-less primitives
+        // (WaitQueue/Event/channels) for the duration of the loop.
+        let race = self.race.borrow().clone();
+        let _guard = CurrentGuard::install(race.clone());
+        if let Some(det) = &race {
+            det.set_now(self.now.get().as_nanos());
+            det.world_publish();
+        }
+        let out = self.run_inner(deadline, stop, max_polls, race.as_ref());
+        if let Some(det) = &race {
+            det.set_now(self.now.get().as_nanos());
+            det.world_join();
+        }
+        out
+    }
+
+    fn run_inner(
+        self: &Rc<Self>,
+        deadline: Option<SimTime>,
+        stop: &dyn Fn() -> bool,
+        max_polls: Option<u64>,
+        race: Option<&Rc<RaceDetector>>,
+    ) -> bool {
         let start_polls = self.polls.get();
         loop {
             if stop() {
@@ -276,7 +333,7 @@ impl ExecCore {
             match next {
                 Some(id) => {
                     self.polls.set(self.polls.get() + 1);
-                    self.poll_one(id);
+                    self.poll_one(id, race);
                 }
                 None => {
                     if let Some(d) = deadline {
@@ -346,7 +403,7 @@ impl SimHandle {
             waker: None,
         }));
         let state2 = Rc::clone(&state);
-        self.core.spawn(Box::pin(async move {
+        let (_id, race_join) = self.core.spawn(Box::pin(async move {
             let value = future.await;
             let mut s = state2.borrow_mut();
             s.result = Some(value);
@@ -354,7 +411,11 @@ impl SimHandle {
                 w.wake();
             }
         }));
-        JoinHandle { state }
+        JoinHandle {
+            state,
+            race: self.core.race.borrow().clone(),
+            race_join,
+        }
     }
 
     /// Number of tasks that have been spawned and not yet completed.
@@ -365,6 +426,12 @@ impl SimHandle {
     /// The simulation's lock-order registry (see [`crate::lockdep`]).
     pub fn lockdep(&self) -> &LockDep {
         &self.core.lockdep
+    }
+
+    /// The simsan race detector, if enabled on this simulation (see
+    /// [`crate::race`] and [`Simulation::enable_race_detection`]).
+    pub fn race_detector(&self) -> Option<Rc<RaceDetector>> {
+        self.core.race.borrow().clone()
     }
 
     /// Key identifying the task currently being polled, for lockdep.
@@ -426,6 +493,9 @@ struct JoinState<T> {
 /// Handle to a spawned task; awaiting it yields the task's result.
 pub struct JoinHandle<T> {
     state: Rc<RefCell<JoinState<T>>>,
+    /// simsan join edge: acquired when the join observes completion.
+    race: Option<Rc<RaceDetector>>,
+    race_join: u32,
 }
 
 impl<T> JoinHandle<T> {
@@ -441,7 +511,14 @@ impl<T> Future for JoinHandle<T> {
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
         let mut s = self.state.borrow_mut();
         match s.result.take() {
-            Some(v) => Poll::Ready(v),
+            Some(v) => {
+                // Join edge: everything the finished task did
+                // happens-before the joiner's continuation.
+                if let Some(det) = &self.race {
+                    det.acquire(self.race_join);
+                }
+                Poll::Ready(v)
+            }
             None => {
                 s.waker = Some(cx.waker().clone());
                 Poll::Pending
@@ -468,10 +545,37 @@ impl Simulation {
     /// `policy` (see [`ExplorationPolicy`]). `Fifo` is bit-for-bit
     /// identical to [`Simulation::new`].
     pub fn with_policy(policy: ExplorationPolicy) -> Self {
-        Simulation {
+        let sim = Simulation {
             handle: SimHandle {
                 core: ExecCore::new(policy),
             },
+        };
+        // Opt-in for whole suites without touching the tests: running
+        // with MAGE_SIMSAN set enables the race detector on every
+        // simulation (ci.sh's simsan stage).
+        if std::env::var_os("MAGE_SIMSAN").is_some() {
+            sim.enable_race_detection();
+        }
+        sim
+    }
+
+    /// Enables the simsan happens-before race detector on this
+    /// simulation and returns it. Must be called before components that
+    /// want shadow checking create their [`crate::race::ShadowRegion`]s
+    /// (regions bind to the detector at construction). Idempotent.
+    ///
+    /// The detector observes without perturbing: it never awaits, never
+    /// advances virtual time and never draws randomness, so an enabled
+    /// run executes the exact same schedule as a disabled one.
+    pub fn enable_race_detection(&self) -> Rc<RaceDetector> {
+        let mut slot = self.handle.core.race.borrow_mut();
+        match &*slot {
+            Some(det) => Rc::clone(det),
+            None => {
+                let det = RaceDetector::new();
+                *slot = Some(Rc::clone(&det));
+                det
+            }
         }
     }
 
@@ -559,7 +663,7 @@ impl Simulation {
     ) -> Result<T, RunProgress> {
         let out: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
         let out2 = Rc::clone(&out);
-        self.handle.core.spawn(Box::pin(async move {
+        let (_id, _join) = self.handle.core.spawn(Box::pin(async move {
             *out2.borrow_mut() = Some(future.await);
         }));
         let done = {

@@ -39,6 +39,7 @@
 pub mod executor;
 pub mod explore;
 pub mod lockdep;
+pub mod race;
 pub mod rng;
 pub mod stats;
 pub mod sync;
@@ -48,4 +49,5 @@ pub mod trace;
 
 pub use executor::{JoinHandle, SimHandle, Simulation};
 pub use explore::{ExplorationPolicy, RunProgress};
+pub use race::{RaceDetector, RaceMode, RaceReport, ShadowCell, ShadowRegion};
 pub use time::{Nanos, SimTime};

@@ -183,8 +183,16 @@ impl LockDep {
             // New edge h.class → class: adding it creates a cycle iff the
             // graph already has a path class → … → h.class.
             if let Some(path) = inner.find_path(class, h.class) {
+                // One-line class-name cycle (A -> B -> C -> A) so the shape
+                // is readable before the per-edge chains below.
+                let mut cycle = vec![inner.names[class as usize].as_str()];
+                for (_, b) in &path {
+                    cycle.push(inner.names[*b as usize].as_str());
+                }
+                cycle.push(inner.names[class as usize].as_str());
                 let mut msg = format!(
-                    "lockdep: lock ordering cycle\n  task {} attempting to acquire {} while holding {}\n  but the opposite order {} -> … -> {} is already established:\n",
+                    "lockdep: lock ordering cycle\n  cycle: {}\n  task {} attempting to acquire {} while holding {}\n  but the opposite order {} -> … -> {} is already established:\n",
+                    cycle.join(" -> "),
                     task_name(task),
                     inner.describe_held(&acquired),
                     inner.describe_held(h),
@@ -288,5 +296,65 @@ impl LockDep {
     /// Number of distinct ordering edges observed so far.
     pub fn edges(&self) -> usize {
         self.inner.borrow().edges.values().map(|m| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[track_caller]
+    fn site() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    /// The 3-lock cycle report renders class *names* at every level: the
+    /// one-line cycle, each established edge with its origin chain, and
+    /// the attempting chain. Asserted verbatim so the format stays
+    /// readable as classes grow.
+    #[test]
+    fn three_lock_cycle_report_names_every_class() {
+        let dep = LockDep::default();
+        let a = dep.register_class("mmap_lock");
+        let b = dep.register_class("lru_lock");
+        let c = dep.register_class("palloc.buddy");
+        let (sa, sb, sc) = (site(), site(), site());
+
+        // Task 1 establishes mmap_lock -> lru_lock.
+        dep.check_acquire(1, a, sa);
+        dep.acquired(1, a, sa);
+        dep.check_acquire(1, b, sb);
+        dep.acquired(1, b, sb);
+        dep.release(1, b);
+        dep.release(1, a);
+        // Task 2 establishes lru_lock -> palloc.buddy.
+        dep.check_acquire(2, b, sb);
+        dep.acquired(2, b, sb);
+        dep.check_acquire(2, c, sc);
+        dep.acquired(2, c, sc);
+        dep.release(2, c);
+        dep.release(2, b);
+        // Task 3 attempts palloc.buddy -> mmap_lock: closes the cycle.
+        dep.check_acquire(3, c, sc);
+        dep.acquired(3, c, sc);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dep.check_acquire(3, a, sa);
+        }))
+        .expect_err("cycle must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is the report")
+            .clone();
+
+        let expected = format!(
+            "lockdep: lock ordering cycle\n\
+             \x20 cycle: mmap_lock -> lru_lock -> palloc.buddy -> mmap_lock\n\
+             \x20 task 3 attempting to acquire mmap_lock (locked at {sa}) while holding palloc.buddy (locked at {sc})\n\
+             \x20 but the opposite order mmap_lock -> … -> palloc.buddy is already established:\n\
+             \x20   mmap_lock -> lru_lock: task 1 held [mmap_lock (locked at {sa})] and acquired lru_lock (locked at {sb})\n\
+             \x20   lru_lock -> palloc.buddy: task 2 held [lru_lock (locked at {sb})] and acquired palloc.buddy (locked at {sc})\n\
+             \x20 current chain: task 3 held [palloc.buddy (locked at {sc})] and acquired mmap_lock (locked at {sa})"
+        );
+        assert_eq!(msg, expected);
     }
 }

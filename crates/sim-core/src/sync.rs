@@ -16,6 +16,7 @@ use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
 use crate::executor::SimHandle;
+use crate::race;
 use crate::stats::TimeStat;
 use crate::time::SimTime;
 
@@ -129,6 +130,8 @@ pub struct SimMutex<T> {
     hold_since: Cell<SimTime>,
     /// Lockdep class (see [`crate::lockdep`]).
     class: u32,
+    /// Lazily-allocated simsan sync id (see [`crate::race`]).
+    race_sync: Cell<u32>,
 }
 
 impl<T> SimMutex<T> {
@@ -161,6 +164,7 @@ impl<T> SimMutex<T> {
             stats: LockStats::default(),
             hold_since: Cell::new(SimTime::ZERO),
             class,
+            race_sync: Cell::new(0),
         }
     }
 
@@ -250,6 +254,7 @@ impl<'a, T> Future for MutexLock<'a, T> {
             m.hold_since.set(m.sim.now());
             let task = m.sim.current_task_key();
             m.sim.lockdep().acquired(task, m.class, self.site);
+            race::edge(&m.race_sync, |det, s| det.acquire(s));
             // The ticket protocol guarantees exclusivity, so this borrow
             // cannot conflict with another live guard.
             let inner = m.value.borrow_mut();
@@ -311,6 +316,7 @@ impl<T> Drop for MutexGuard<'_, T> {
         self.inner = None;
         let m = self.mutex;
         m.sim.lockdep().release(self.task, m.class);
+        race::edge(&m.race_sync, |det, s| det.release(s));
         let held = m.sim.now().saturating_since(m.hold_since.get());
         m.stats.hold.borrow_mut().record(held);
         m.ctl.serve_next();
@@ -335,6 +341,8 @@ pub struct Semaphore {
     permits: Cell<u64>,
     waiters: RefCell<VecDeque<Rc<SemWaiter>>>,
     stats: LockStats,
+    /// Lazily-allocated simsan sync id: releases publish, grants acquire.
+    race_sync: Cell<u32>,
 }
 
 impl Semaphore {
@@ -345,6 +353,7 @@ impl Semaphore {
             permits: Cell::new(permits),
             waiters: RefCell::new(VecDeque::new()),
             stats: LockStats::default(),
+            race_sync: Cell::new(0),
         }
     }
 
@@ -368,6 +377,7 @@ impl Semaphore {
         if self.waiters.borrow().is_empty() && self.permits.get() >= need {
             self.permits.set(self.permits.get() - need);
             self.stats.record_acquire(0, 0);
+            race::edge(&self.race_sync, |det, s| det.acquire(s));
             true
         } else {
             false
@@ -376,6 +386,7 @@ impl Semaphore {
 
     /// Returns `n` permits and grants queued waiters in order.
     pub fn release(&self, n: u64) {
+        race::edge(&self.race_sync, |det, s| det.release(s));
         self.permits.set(self.permits.get() + n);
         self.grant_waiters();
     }
@@ -446,6 +457,7 @@ impl Future for SemAcquire<'_> {
                     let waited = sem.sim.now().saturating_since(self.started);
                     sem.stats
                         .record_acquire(waited, sem.waiters.borrow().len() as u64);
+                    race::edge(&sem.race_sync, |det, s| det.acquire(s));
                     self.waiter = None;
                     Poll::Ready(())
                 } else {
@@ -473,6 +485,11 @@ impl Drop for SemAcquire<'_> {
 struct WaitSlot {
     signalled: Cell<bool>,
     waker: RefCell<Option<Waker>>,
+    /// Per-waiter simsan sync: the waker releases into it at wake time,
+    /// the waiter acquires it when its `Wait` resolves, so a woken task
+    /// inherits exactly its waker's clock (a precise edge, not a
+    /// queue-wide one).
+    race_sync: Cell<u32>,
 }
 
 /// A condition-variable-style wait queue.
@@ -498,6 +515,7 @@ impl WaitQueue {
         let slot = Rc::new(WaitSlot {
             signalled: Cell::new(false),
             waker: RefCell::new(None),
+            race_sync: Cell::new(0),
         });
         self.waiters.borrow_mut().push_back(Rc::clone(&slot));
         Wait { slot }
@@ -508,6 +526,7 @@ impl WaitQueue {
         let slot = self.waiters.borrow_mut().pop_front();
         match slot {
             Some(s) => {
+                race::edge(&s.race_sync, |det, sy| det.release(sy));
                 s.signalled.set(true);
                 if let Some(w) = s.waker.borrow_mut().take() {
                     w.wake();
@@ -522,6 +541,7 @@ impl WaitQueue {
     pub fn wake_all(&self) {
         let slots: Vec<_> = self.waiters.borrow_mut().drain(..).collect();
         for s in slots {
+            race::edge(&s.race_sync, |det, sy| det.release(sy));
             s.signalled.set(true);
             if let Some(w) = s.waker.borrow_mut().take() {
                 w.wake();
@@ -550,6 +570,7 @@ impl Future for Wait {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
         if self.slot.signalled.get() {
+            race::edge(&self.slot.race_sync, |det, sy| det.acquire(sy));
             Poll::Ready(())
         } else {
             *self.slot.waker.borrow_mut() = Some(cx.waker().clone());
@@ -567,6 +588,10 @@ impl Future for Wait {
 pub struct Event {
     permit: Cell<bool>,
     queue: WaitQueue,
+    /// Simsan sync carrying the stored-permit edge (`notify` with no
+    /// waiter → later `wait` consuming the permit); direct wakes take
+    /// the per-waiter edge inside `queue` instead.
+    race_sync: Cell<u32>,
 }
 
 impl Event {
@@ -578,6 +603,7 @@ impl Event {
     /// Stores a permit and wakes one waiter if present.
     pub fn notify(&self) {
         if !self.queue.wake_one() {
+            race::edge(&self.race_sync, |det, s| det.release(s));
             self.permit.set(true);
         }
     }
@@ -585,6 +611,7 @@ impl Event {
     /// Waits for a notification (consumes a stored permit if present).
     pub async fn wait(&self) {
         if self.permit.replace(false) {
+            race::edge(&self.race_sync, |det, s| det.acquire(s));
             return;
         }
         self.queue.wait().await;

@@ -10,6 +10,7 @@ use std::collections::VecDeque;
 use std::panic::Location;
 use std::rc::Rc;
 
+use crate::race;
 use crate::sync::{LockStats, WaitQueue};
 use crate::time::SimTime;
 use crate::SimHandle;
@@ -36,6 +37,10 @@ pub struct SimRwLock {
     stats: LockStats,
     /// Lockdep class (see [`crate::lockdep`]); shared by both sides.
     class: u32,
+    /// Simsan sync shared by both sides: every unlock (read or write)
+    /// releases, every lock acquires. Conservative for reader–reader
+    /// pairs (an extra edge, never a missed write edge).
+    race_sync: Cell<u32>,
 }
 
 impl SimRwLock {
@@ -57,6 +62,7 @@ impl SimRwLock {
             writers_queue: WaitQueue::new(),
             stats: LockStats::default(),
             class,
+            race_sync: Cell::new(0),
         }
     }
 
@@ -104,6 +110,7 @@ impl SimRwLock {
                 self.record(started);
                 let task = self.sim.current_task_key();
                 self.sim.lockdep().acquired(task, self.class, site);
+                race::edge(&self.race_sync, |det, s| det.acquire(s));
                 return RwReadGuard { lock: self, task };
             }
             self.readers_queue.wait().await;
@@ -129,6 +136,7 @@ impl SimRwLock {
                 self.record(started);
                 let task = self.sim.current_task_key();
                 self.sim.lockdep().acquired(task, self.class, site);
+                race::edge(&self.race_sync, |det, s| det.acquire(s));
                 return RwWriteGuard { lock: self, task };
             }
             self.writers_queue.wait().await;
@@ -136,6 +144,7 @@ impl SimRwLock {
     }
 
     fn release_read(&self) {
+        race::edge(&self.race_sync, |det, s| det.release(s));
         match self.state.get() {
             RwState::Readers(1) => {
                 self.state.set(RwState::Free);
@@ -150,6 +159,7 @@ impl SimRwLock {
     }
 
     fn release_write(&self) {
+        race::edge(&self.race_sync, |det, s| det.release(s));
         debug_assert_eq!(self.state.get(), RwState::Writer);
         self.state.set(RwState::Free);
         if !self.writers_queue.wake_one() {
@@ -189,6 +199,10 @@ struct ChannelInner<T> {
     recv_waiters: WaitQueue,
     senders: Cell<usize>,
     receiver_alive: Cell<bool>,
+    /// Simsan sync: sends (and the last sender's drop) release, receives
+    /// acquire — covering the non-waiting receive path that never touches
+    /// `recv_waiters`.
+    race_sync: Cell<u32>,
 }
 
 /// Creates an unbounded mpsc channel.
@@ -198,6 +212,7 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
         recv_waiters: WaitQueue::new(),
         senders: Cell::new(1),
         receiver_alive: Cell::new(true),
+        race_sync: Cell::new(0),
     });
     (
         Sender {
@@ -225,6 +240,7 @@ impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         self.inner.senders.set(self.inner.senders.get() - 1);
         if self.inner.senders.get() == 0 {
+            race::edge(&self.inner.race_sync, |det, s| det.release(s));
             self.inner.recv_waiters.wake_all();
         }
     }
@@ -236,6 +252,7 @@ impl<T> Sender<T> {
         if !self.inner.receiver_alive.get() {
             return false;
         }
+        race::edge(&self.inner.race_sync, |det, s| det.release(s));
         self.inner.queue.borrow_mut().push_back(value);
         self.inner.recv_waiters.wake_one();
         true
@@ -259,9 +276,11 @@ impl<T> Receiver<T> {
     pub async fn recv(&self) -> Option<T> {
         loop {
             if let Some(v) = self.inner.queue.borrow_mut().pop_front() {
+                race::edge(&self.inner.race_sync, |det, s| det.acquire(s));
                 return Some(v);
             }
             if self.inner.senders.get() == 0 {
+                race::edge(&self.inner.race_sync, |det, s| det.acquire(s));
                 return None;
             }
             self.inner.recv_waiters.wait().await;
@@ -270,7 +289,11 @@ impl<T> Receiver<T> {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<T> {
-        self.inner.queue.borrow_mut().pop_front()
+        let v = self.inner.queue.borrow_mut().pop_front();
+        if v.is_some() {
+            race::edge(&self.inner.race_sync, |det, s| det.acquire(s));
+        }
+        v
     }
 
     /// Queued messages.

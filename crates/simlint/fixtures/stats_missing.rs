@@ -1,0 +1,19 @@
+//! stats-registration fixture, tripping half: `lost_counter` is declared
+//! but never captured by the snapshot — the bug class where a counter
+//! silently escapes the measurement windows. Not compiled — pure lint
+//! input, paired with stats_ok.rs.
+
+pub struct NicStats {
+    pub reads: Counter,
+    pub lost_counter: Counter,
+}
+
+pub struct MetricsRegistry {
+    nic: NicStats,
+}
+
+impl MetricsRegistry {
+    pub fn snapshot(&self) -> u64 {
+        self.nic.reads.get()
+    }
+}

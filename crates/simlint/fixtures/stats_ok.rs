@@ -1,0 +1,18 @@
+//! stats-registration fixture, clean half: every stat field of the
+//! monitored struct is captured by the registry snapshot. Not compiled —
+//! pure lint input, paired with stats_missing.rs.
+
+pub struct NicStats {
+    pub reads: Counter,
+    pub read_latency: Histogram,
+}
+
+pub struct MetricsRegistry {
+    nic: NicStats,
+}
+
+impl MetricsRegistry {
+    pub fn snapshot(&self) -> (u64, u64) {
+        (self.nic.reads.get(), self.nic.read_latency.count())
+    }
+}

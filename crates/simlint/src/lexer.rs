@@ -102,8 +102,9 @@ pub fn lex(src: &str) -> Lexed {
                     }
                 }
                 let ident = &src[start..i];
-                // Raw / byte string prefixes: r"", r#""#, b"", br"", c"".
-                if matches!(ident, "r" | "b" | "br" | "rb" | "c" | "cr")
+                // Raw string prefixes (r"", r#""#, br"", cr#""#): no
+                // escapes, delimited by the hash count.
+                if matches!(ident, "r" | "br" | "rb" | "cr")
                     && matches!(bytes.get(i), Some(b'"') | Some(b'#'))
                 {
                     let consumed = skip_raw_string(&src[i..]);
@@ -112,6 +113,16 @@ pub fn lex(src: &str) -> Lexed {
                         i += consumed;
                         continue;
                     }
+                }
+                // Byte / C string prefixes (b"", c""): ordinary strings
+                // with escapes — routing them through the raw scanner
+                // would stop at an escaped quote and leak the tail of the
+                // literal as tokens.
+                if matches!(ident, "b" | "c") && bytes.get(i) == Some(&b'"') {
+                    let consumed = skip_string(&src[i..]);
+                    bump_lines!(&src[i..i + consumed]);
+                    i += consumed;
+                    continue;
                 }
                 out.tokens.push(Token {
                     text: ident.to_string(),
@@ -124,8 +135,14 @@ pub fn lex(src: &str) -> Lexed {
                 while i < bytes.len() {
                     let b = bytes[i] as char;
                     if b.is_ascii_alphanumeric() || b == '_' || b == '.' {
-                        // Avoid swallowing a range `0..n`.
-                        if b == '.' && bytes.get(i + 1) == Some(&b'.') {
+                        // Avoid swallowing a range `0..n` or a method
+                        // call `0.max(…)` (whose name must stay a
+                        // token).
+                        if b == '.'
+                            && bytes.get(i + 1).is_some_and(|&n| {
+                                n == b'.' || n == b'_' || (n as char).is_ascii_alphabetic()
+                            })
+                        {
                             break;
                         }
                         i += 1;
@@ -312,5 +329,65 @@ mod tests {
     fn char_literals_do_not_derail() {
         let ids = idents("let c = ':'; let d = '\\n'; let e = Map;");
         assert!(ids.contains(&"Map".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_hide_nothing_and_fabricate_nothing() {
+        // Hashed raw strings may contain quotes; the banned name inside
+        // must not leak, and the ident after the literal must survive.
+        let ids = idents(r####"let x = r##"quote " then HashMap"##; let y = Real;"####);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert!(ids.contains(&"Real".to_string()));
+        // A raw string whose closing quote has too few hashes keeps
+        // scanning (the `"#` inside r##"…"## does not terminate it).
+        let ids = idents(r####"let x = r##"inner "# HashMap "##; After"####);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert!(ids.contains(&"After".to_string()));
+    }
+
+    #[test]
+    fn byte_strings_honor_escapes() {
+        // b"…" is NOT a raw string: \" does not close it. Lexed naively
+        // the tail of the literal leaks out as a HashMap token.
+        let ids = idents(r#"let x = b"say \"HashMap\" loud"; let y = Real;"#);
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        assert!(ids.contains(&"Real".to_string()));
+        let ids = idents(r#"let x = c"esc \"Instant\""; Next"#);
+        assert!(!ids.iter().any(|i| i == "Instant"), "{ids:?}");
+        assert!(ids.contains(&"Next".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth_and_lines() {
+        let src = "/* outer /* inner */ still comment HashMap */\nlet a = Tok;";
+        let lexed = lex(src);
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(!ids.iter().any(|i| i == "HashMap"), "{ids:?}");
+        let tok = lexed.tokens.iter().find(|t| t.text == "Tok").unwrap();
+        assert_eq!(tok.line, 2, "lines counted through the comment");
+    }
+
+    #[test]
+    fn method_calls_on_number_literals_stay_tokens() {
+        // `0.max` must not swallow `max` into the number literal —
+        // otherwise a banned name in method position would be hidden.
+        let lexed = lex("let a = 0.max(1); let b = 1_000.thread_rng();");
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.is_ident)
+            .map(|t| t.text.as_str().to_string())
+            .collect();
+        assert!(ids.contains(&"max".to_string()), "{ids:?}");
+        assert!(ids.contains(&"thread_rng".to_string()), "{ids:?}");
+        // Floats and ranges still lex as before.
+        let ids = idents("let c = 1.5e3; for i in 0..n {}");
+        assert!(ids.contains(&"n".to_string()));
+        assert!(!ids.iter().any(|i| i == "e3"), "{ids:?}");
     }
 }

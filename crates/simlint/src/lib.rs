@@ -22,6 +22,17 @@
 //! | `hash-collection` | `HashMap` / `HashSet` | iteration order varies per process (random SipHash keys); use `BTreeMap`/`BTreeSet` or sorted iteration |
 //! | `std-sync` | `std::sync::{Mutex, RwLock, …}`, atomics | host-level blocking invisible to virtual time; use `SimMutex`/`SimRwLock` |
 //! | `unseeded-rng` | RNG constructors without a `seed` parameter | every stochastic component must be replayable from its seed |
+//! | `stats-registration` | stat fields missing from `MetricsRegistry::snapshot` | an unregistered counter escapes measurement windows and silently keeps warmup samples |
+//!
+//! All rules except `stats-registration` are per-file token passes.
+//! `stats-registration` is a cross-file pass over the whole scanned set:
+//! every `Counter`/`TimeStat`/`Histogram` field declared in the
+//! monitored stats structs (`EngineStats`, `FaultBreakdown`, `NicStats`,
+//! `IpiStats`, `AccountingStats`) must be referenced in a *registry
+//! anchor* — a scanned file that mentions both `MetricsRegistry` and
+//! `snapshot`. When the scanned set contains no anchor at all (a single
+//! crate without the metrics façade) the rule is silent rather than
+//! flagging every field.
 //!
 //! ## Escape hatch
 //!
@@ -63,6 +74,8 @@ pub enum Rule {
     StdSync,
     /// Public RNG constructor without an explicit seed parameter.
     UnseededRng,
+    /// A stat field not captured by `MetricsRegistry::snapshot`.
+    StatsRegistration,
     /// An `allow` directive without a justification.
     BareAllow,
 }
@@ -77,6 +90,7 @@ impl Rule {
             Rule::HashCollection => "hash-collection",
             Rule::StdSync => "std-sync",
             Rule::UnseededRng => "unseeded-rng",
+            Rule::StatsRegistration => "stats-registration",
             Rule::BareAllow => "bare-allow",
         }
     }
@@ -102,6 +116,9 @@ impl Rule {
             Rule::UnseededRng => {
                 "RNG constructors must take an explicit seed so every stochastic component is replayable"
             }
+            Rule::StatsRegistration => {
+                "stat fields outside MetricsRegistry::snapshot escape measurement windows and keep warmup samples"
+            }
             Rule::BareAllow => "simlint allow directives must carry a justification after a colon",
         }
     }
@@ -115,6 +132,7 @@ impl Rule {
             Rule::HashCollection,
             Rule::StdSync,
             Rule::UnseededRng,
+            Rule::StatsRegistration,
             Rule::BareAllow,
         ]
     }
@@ -158,10 +176,22 @@ pub struct AllowDirective {
     pub justified: bool,
 }
 
-/// Lints one source string; `file` is used only for reporting.
+/// Lints a batch of lexed files together: the per-file rules on each,
+/// then the cross-file `stats-registration` pass over the whole set.
+fn lint_batch(files: &[(PathBuf, lexer::Lexed)]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (path, lexed) in files {
+        out.extend(rules::check(path, lexed));
+    }
+    out.extend(rules::stats_registration(files));
+    out
+}
+
+/// Lints one source string; `file` is used only for reporting. The
+/// cross-file `stats-registration` pass sees only this file, so an
+/// anchor-less source skips it.
 pub fn lint_source(file: &Path, src: &str) -> Vec<Violation> {
-    let lexed = lexer::lex(src);
-    rules::check(file, &lexed)
+    lint_batch(&[(file.to_path_buf(), lexer::lex(src))])
 }
 
 /// Lints one `.rs` file.
@@ -171,17 +201,18 @@ pub fn lint_file(path: &Path) -> io::Result<Vec<Violation>> {
 }
 
 /// Recursively lints every `.rs` file under `root` (or `root` itself if
-/// it is a file). Files are visited in sorted order so reports are
-/// stable.
+/// it is a file), as one batch: files are visited in sorted order so
+/// reports are stable, and the cross-file pass sees the whole tree.
 pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
-    let mut out = Vec::new();
-    for f in &files {
-        out.extend(lint_file(f)?);
+    let mut lexed = Vec::new();
+    for f in files {
+        let src = fs::read_to_string(&f)?;
+        lexed.push((f, lexer::lex(&src)));
     }
-    Ok(out)
+    Ok(lint_batch(&lexed))
 }
 
 fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
@@ -218,11 +249,19 @@ pub fn default_scan_roots(workspace_root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(roots)
 }
 
-/// Lints the whole workspace's simulation crates.
+/// Lints the whole workspace's simulation crates as ONE batch, so the
+/// cross-file `stats-registration` pass sees the stats structs of every
+/// crate against the registry anchor in `crates/core`.
 pub fn lint_workspace(workspace_root: &Path) -> io::Result<Vec<Violation>> {
-    let mut out = Vec::new();
+    let mut files = Vec::new();
     for root in default_scan_roots(workspace_root)? {
-        out.extend(lint_tree(&root)?);
+        collect_rs_files(&root, &mut files)?;
     }
-    Ok(out)
+    files.sort();
+    let mut lexed = Vec::new();
+    for f in files {
+        let src = fs::read_to_string(&f)?;
+        lexed.push((f, lexer::lex(&src)));
+    }
+    Ok(lint_batch(&lexed))
 }

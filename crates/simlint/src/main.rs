@@ -1,9 +1,11 @@
 //! CLI for simlint: `cargo run -p simlint [paths...]`.
 //!
 //! With no arguments, lints every `crates/*/src` tree of the workspace
-//! this binary was built from. With arguments, lints exactly those files
-//! or directories (used by the fixture tests). Exits non-zero iff any
-//! violation is found.
+//! this binary was built from as ONE batch, so the cross-file
+//! `stats-registration` pass sees every crate's stats structs against
+//! the registry anchor in `crates/core`. With arguments, lints exactly
+//! those files or directories (used by the fixture tests), each as its
+//! own batch. Exits non-zero iff any violation is found.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -11,39 +13,41 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
-    let roots: Vec<PathBuf> = if args.is_empty() {
+    let mut violations = Vec::new();
+    let scanned;
+    if args.is_empty() {
         let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"))
             .ancestors()
             .nth(2)
             .expect("simlint lives at <workspace>/crates/simlint")
             .to_path_buf();
-        match simlint::default_scan_roots(&workspace_root) {
-            Ok(r) => r,
+        match simlint::lint_workspace(&workspace_root) {
+            Ok(v) => violations = v,
             Err(e) => {
-                eprintln!("simlint: cannot enumerate {}: {e}", workspace_root.display());
+                eprintln!("simlint: cannot scan {}: {e}", workspace_root.display());
                 return ExitCode::from(2);
             }
         }
+        scanned = "workspace".to_string();
     } else {
-        args.iter().map(PathBuf::from).collect()
-    };
-
-    let mut violations = Vec::new();
-    for root in &roots {
-        match simlint::lint_tree(root) {
-            Ok(v) => violations.extend(v),
-            Err(e) => {
-                eprintln!("simlint: cannot read {}: {e}", root.display());
-                return ExitCode::from(2);
+        let roots: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
+        for root in &roots {
+            match simlint::lint_tree(root) {
+                Ok(v) => violations.extend(v),
+                Err(e) => {
+                    eprintln!("simlint: cannot read {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
             }
         }
+        scanned = format!("{} tree(s)", roots.len());
     }
 
     for v in &violations {
         println!("{v}");
     }
     if violations.is_empty() {
-        eprintln!("simlint: clean ({} tree(s) scanned)", roots.len());
+        eprintln!("simlint: clean ({scanned} scanned)");
         ExitCode::SUCCESS
     } else {
         eprintln!("simlint: {} violation(s)", violations.len());

@@ -96,13 +96,17 @@ fn broken_settlement_is_caught_and_shrunk() {
 /// Replays one cell from `MAGE_CHECK_*` environment variables — the
 /// target of every printed repro line. Without the variables it runs the
 /// default cell, so the test is meaningful in a plain suite run too.
-/// `MAGE_CHECK_BREAK=1` additionally enables the broken-settlement
-/// toggle, for replaying the synthetic-bug demonstration.
+/// `MAGE_CHECK_BREAK` additionally enables a planted bug, for replaying
+/// the synthetic-bug demonstrations: `settlement` (or the historical
+/// `1`) resurrects the settlement double-count, `publish` the unlocked
+/// PTE re-publish that only the race detector can see.
 #[test]
 fn replay_cell() {
     let cell = Cell::from_env().unwrap_or_default();
+    let broken = std::env::var("MAGE_CHECK_BREAK").ok();
     let opts = CheckOptions {
-        break_settlement: std::env::var("MAGE_CHECK_BREAK").is_ok(),
+        break_settlement: matches!(broken.as_deref(), Some("1") | Some("settlement")),
+        break_publish: broken.as_deref() == Some("publish"),
         ..CheckOptions::default()
     };
     match run_cell(&cell, &opts) {
