@@ -53,6 +53,23 @@ if cargo run -q -p simlint -- crates/simlint/fixtures/stats_missing.rs >/dev/nul
     echo "error: simlint accepted the unregistered-stat fixture" >&2
     exit 1
 fi
+if cargo run -q -p simlint -- crates/simlint/fixtures/hotpath/executor.rs >/dev/null 2>&1; then
+    echo "error: simlint accepted the hot-path ordered-map fixture" >&2
+    exit 1
+fi
+cargo run -q -p simlint -- crates/simlint/fixtures/hotpath_ok >/dev/null 2>&1 || {
+    echo "error: simlint rejected the justified hot-path allow fixture" >&2
+    exit 1
+}
+
+echo "==> bench smoke (hot-loop harness, quick mode; validates BENCH_hotloop.json schema)"
+# Writes the quick-mode report to target/ — the committed BENCH_hotloop.json
+# at the repo root comes from a full run (see README "Benchmarking").
+cargo run -q --release -p mage-bench --bin hotloop -- --quick --out target/bench_hotloop_smoke.json >/dev/null
+test -s target/bench_hotloop_smoke.json || {
+    echo "error: bench smoke did not produce target/bench_hotloop_smoke.json" >&2
+    exit 1
+}
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

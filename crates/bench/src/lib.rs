@@ -11,6 +11,8 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+pub mod hotloop;
+
 /// Collects one experiment's rows and emits table + CSV.
 pub struct Experiment {
     id: &'static str,

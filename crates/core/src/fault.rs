@@ -201,7 +201,7 @@ impl FarMemory {
             if pte.locked() {
                 // Refault on a page mid-eviction: cancel the eviction and
                 // re-map the still-intact frame (swap-cache refault).
-                let cancelled = self.evicting.borrow_mut().remove(&vpn);
+                let cancelled = self.evicting.borrow_mut().remove(vpn);
                 if let Some((frame, _gen)) = cancelled {
                     // Claiming the evicting-map entry transfers ownership
                     // of the PTE lock bit from the evictor to this task.

@@ -15,7 +15,7 @@
 //! eviction-path logic lives here.
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use mage_sim::slab::PageMap;
 use std::rc::{Rc, Weak};
 
 use mage_accounting::PageAccounting;
@@ -116,14 +116,17 @@ pub struct FarMemory {
     pub(crate) acct: Rc<PageAccounting>,
     pub(crate) app_cores: Vec<CoreId>,
     pub(crate) evictor_cores: Vec<CoreId>,
-    pub(crate) page_waiters: RefCell<BTreeMap<u64, Rc<WaitQueue>>>,
+    /// Per-page wait queues for faults blocked on an in-flight fetch,
+    /// keyed by vpn in an open-addressed [`PageMap`] (point lookups only;
+    /// never iterated, so hash order is unobservable).
+    pub(crate) page_waiters: RefCell<PageMap<Rc<WaitQueue>>>,
     /// Pages unmapped by an in-flight eviction batch, mapping vpn →
     /// (frame, generation); a concurrent fault can cancel the eviction by
     /// reclaiming the entry (the swap-cache-refault / unified-page-table
     /// dedup of §5.2). The generation tag prevents a finished batch from
     /// claiming an entry that a *later* batch re-created after a
     /// cancellation (ABA).
-    pub(crate) evicting: RefCell<BTreeMap<u64, (u64, u64)>>,
+    pub(crate) evicting: RefCell<PageMap<(u64, u64)>>,
     pub(crate) evict_gen: Cell<u64>,
     pub(crate) free_waiters: WaitQueue,
     pub(crate) active_evictors: Cell<usize>,
@@ -211,8 +214,8 @@ impl FarMemory {
             acct,
             app_cores,
             evictor_cores,
-            page_waiters: RefCell::new(BTreeMap::new()),
-            evicting: RefCell::new(BTreeMap::new()),
+            page_waiters: RefCell::new(PageMap::new()),
+            evicting: RefCell::new(PageMap::new()),
             evict_gen: Cell::new(0),
             free_waiters: WaitQueue::new(),
             active_evictors: Cell::new(cfg.evictors),
@@ -455,17 +458,13 @@ impl FarMemory {
     pub(crate) async fn wait_for_page(&self, vpn: u64) {
         let queue = {
             let mut waiters = self.page_waiters.borrow_mut();
-            Rc::clone(
-                waiters
-                    .entry(vpn)
-                    .or_insert_with(|| Rc::new(WaitQueue::new())),
-            )
+            Rc::clone(waiters.get_or_insert_with(vpn, || Rc::new(WaitQueue::new())))
         };
         queue.wait().await;
     }
 
     pub(crate) fn wake_page(&self, vpn: u64) {
-        if let Some(q) = self.page_waiters.borrow_mut().remove(&vpn) {
+        if let Some(q) = self.page_waiters.borrow_mut().remove(vpn) {
             q.wake_all();
         }
     }

@@ -11,7 +11,8 @@
 //! in the registry is windowed by construction, and one that doesn't
 //! cannot appear in a report at all.
 //!
-//! The destructive [`EngineStats::reset`] shim this replaces cleared only
+//! The destructive `EngineStats::reset` shim this replaces (since
+//! removed) cleared only
 //! the engine's own counters — NIC byte counts and IPI histograms kept
 //! their warmup samples and were then divided by the post-warmup runtime,
 //! inflating `read_gbps`/`write_gbps` and skewing `shootdown_mean_ns`.

@@ -228,9 +228,9 @@ impl FarMemory {
     async fn requeue_victim(&self, core: CoreId, page: &EvictPage) {
         {
             let mut evicting = self.evicting.borrow_mut();
-            match evicting.get(&page.vpn) {
+            match evicting.get(page.vpn) {
                 Some(&(_, gen)) if gen == page.gen => {
-                    evicting.remove(&page.vpn);
+                    evicting.remove(page.vpn);
                 }
                 _ => {
                     // A concurrent refault already cancelled this eviction
@@ -280,9 +280,9 @@ impl FarMemory {
             // whose generation still owns the entry may reclaim.
             {
                 let mut evicting = self.evicting.borrow_mut();
-                match evicting.get(&page.vpn) {
+                match evicting.get(page.vpn) {
                     Some(&(_, gen)) if gen == page.gen => {
-                        evicting.remove(&page.vpn);
+                        evicting.remove(page.vpn);
                     }
                     _ => {
                         self.stats.evict_cancelled_pages.inc();

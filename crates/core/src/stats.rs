@@ -124,45 +124,10 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Clears every counter and distribution.
-    ///
-    /// Deprecated: destructive resets only clear the stats this struct
-    /// owns — NIC and IPI counters keep their warmup samples, which is
-    /// exactly the bug class measurement windows remove. Take a
-    /// [`MetricsSnapshot`](crate::metrics::MetricsSnapshot) via
-    /// [`FarMemory::metrics`](crate::machine::FarMemory::metrics) and
-    /// compute a window instead.
-    #[deprecated(note = "take a MetricsSnapshot and compute a window instead of resetting")]
-    pub fn reset(&self) {
-        self.accesses.take();
-        self.tlb_hits.take();
-        self.minor_walks.take();
-        self.major_faults.take();
-        self.page_lock_waits.take();
-        self.fault_latency.clear();
-        *self.breakdown.rdma.borrow_mut() = TimeStat::new();
-        *self.breakdown.tlb.borrow_mut() = TimeStat::new();
-        *self.breakdown.accounting.borrow_mut() = TimeStat::new();
-        *self.breakdown.circulation.borrow_mut() = TimeStat::new();
-        *self.breakdown.other.borrow_mut() = TimeStat::new();
-        self.sync_evictions.take();
-        self.evicted_pages.take();
-        self.sync_evicted_pages.take();
-        self.writebacks.take();
-        self.clean_reclaims.take();
-        self.eviction_batches.take();
-        *self.free_wait.borrow_mut() = TimeStat::new();
-        self.unmapped_pages.take();
-        self.evict_cancels.take();
-        self.evict_cancelled_pages.take();
-        self.prefetches.take();
-        self.prefetch_inflight_hits.take();
-        self.transfer_retries.take();
-        self.transfer_failures.take();
-        self.aborted_faults.take();
-        self.requeued_victims.take();
-        self.retry_latency.clear();
-    }
+    // `reset()` is gone: destructive resets only cleared the stats this
+    // struct owns — NIC and IPI counters kept their warmup samples, which
+    // is exactly the bug class measurement windows remove. Take a
+    // `MetricsSnapshot` via `FarMemory::metrics` and compute a window.
 
     /// Records a major fault's total latency and residual component.
     pub fn record_fault(&self, total: Nanos, accounted: Nanos) {

@@ -17,16 +17,18 @@
 //! (see `mage_mmu::ipi`).
 
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 
 use mage_sim::rng::SplitMix64;
+use mage_sim::slab::PageMap;
 use mage_sim::stats::Counter;
 
 /// A fixed-capacity, randomly-replaced translation cache for one core.
 pub struct Tlb {
     capacity: usize,
-    /// vpn → slot in `order` (for O(1) invalidation).
-    map: RefCell<BTreeMap<u64, usize>>,
+    /// vpn → slot in `order` (for O(1) invalidation). Open-addressed
+    /// deterministic index: the hottest lookup in the simulator (once
+    /// per access), converted from `BTreeMap` by the slab refactor.
+    map: RefCell<PageMap<usize>>,
     /// Insertion vector for random replacement.
     order: RefCell<Vec<u64>>,
     rng: SplitMix64,
@@ -44,8 +46,11 @@ impl Tlb {
     pub fn new(capacity: usize, seed: u64) -> Self {
         Tlb {
             capacity,
-            map: RefCell::new(BTreeMap::new()),
-            order: RefCell::new(Vec::new()),
+            // 2× slack: a full TLB replaces an entry per miss (remove +
+            // insert), and backward-shift deletion at the map's ¾-load
+            // limit walks long probe chains. Half-load keeps them short.
+            map: RefCell::new(PageMap::with_capacity(capacity * 2)),
+            order: RefCell::new(Vec::with_capacity(capacity)),
             rng: SplitMix64::new(seed),
             hits: Counter::new(),
             misses: Counter::new(),
@@ -55,7 +60,7 @@ impl Tlb {
 
     /// Looks up `vpn`, recording a hit or miss.
     pub fn lookup(&self, vpn: u64) -> bool {
-        if self.map.borrow().contains_key(&vpn) {
+        if self.map.borrow().contains_key(vpn) {
             self.hits.inc();
             true
         } else {
@@ -66,21 +71,21 @@ impl Tlb {
 
     /// Whether the core can currently translate `vpn` (no stats recorded).
     pub fn translates(&self, vpn: u64) -> bool {
-        self.map.borrow().contains_key(&vpn)
+        self.map.borrow().contains_key(vpn)
     }
 
     /// Inserts a translation after a page-table walk, evicting a random
     /// victim if the TLB is full.
     pub fn fill(&self, vpn: u64) {
         let mut map = self.map.borrow_mut();
-        if map.contains_key(&vpn) {
+        if map.contains_key(vpn) {
             return;
         }
         let mut order = self.order.borrow_mut();
         if order.len() >= self.capacity {
             let victim_slot = self.rng.next_below(order.len() as u64) as usize;
             let victim = order[victim_slot];
-            map.remove(&victim);
+            map.remove(victim);
             self.capacity_evictions.inc();
             order[victim_slot] = vpn;
             map.insert(vpn, victim_slot);
@@ -93,7 +98,7 @@ impl Tlb {
     /// Invalidates one translation (INVLPG).
     pub fn invalidate(&self, vpn: u64) {
         let mut map = self.map.borrow_mut();
-        if let Some(slot) = map.remove(&vpn) {
+        if let Some(slot) = map.remove(vpn) {
             let mut order = self.order.borrow_mut();
             let last = order.len() - 1;
             order.swap(slot, last);
@@ -106,7 +111,7 @@ impl Tlb {
 
     /// Flushes every translation (CR3 write).
     pub fn flush_all(&self) {
-        self.map.borrow_mut().clear();
+        *self.map.borrow_mut() = PageMap::with_capacity(self.capacity * 2);
         self.order.borrow_mut().clear();
     }
 

@@ -7,6 +7,7 @@
 //! per-CPU caches, MAGE's multi-layer hierarchy) is layered on top in
 //! [`crate::local`].
 
+use mage_sim::slab::PageMap;
 use std::collections::BTreeSet;
 
 /// Maximum block order (2^10 frames = 4 MiB blocks at 4 KiB pages).
@@ -27,10 +28,17 @@ pub const MAX_ORDER: u32 = 10;
 /// ```
 pub struct BuddyAllocator {
     nframes: u64,
-    /// Free blocks per order.
+    /// Free blocks per order. Deliberately a `BTreeSet`: `alloc` picks the
+    /// *smallest* free base at each order, and that ordered choice is part
+    /// of the deterministic frame-allocation contract pinned by the seam
+    /// goldens — an unordered index would change which frames come back.
+    /// This is a cold path relative to the per-core caches in
+    /// [`crate::local`], which absorb the hot alloc/free traffic.
     free_lists: Vec<BTreeSet<u64>>,
-    /// Outstanding allocations, for exact double-free detection.
-    outstanding: BTreeSet<(u64, u32)>,
+    /// Outstanding allocations (base → order), for exact double-free
+    /// detection. Pure point lookups, so an open-addressed [`PageMap`]
+    /// suffices: a base can be outstanding at only one order at a time.
+    outstanding: PageMap<u32>,
     free_frames: u64,
 }
 
@@ -40,7 +48,7 @@ impl BuddyAllocator {
         let mut b = BuddyAllocator {
             nframes,
             free_lists: (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect(),
-            outstanding: BTreeSet::new(),
+            outstanding: PageMap::new(),
             free_frames: 0,
         };
         // Seed with maximal aligned blocks covering [0, nframes).
@@ -89,7 +97,7 @@ impl BuddyAllocator {
             self.free_lists[o as usize].insert(buddy);
         }
         self.free_frames -= 1 << order;
-        self.outstanding.insert((base, order));
+        self.outstanding.insert(base, order);
         Some(base)
     }
 
@@ -113,8 +121,9 @@ impl BuddyAllocator {
         assert!(order <= MAX_ORDER, "order {order} too large");
         assert_eq!(base % (1 << order), 0, "misaligned free of {base:#x}");
         assert!(base + (1 << order) <= self.nframes, "free out of range");
-        assert!(
-            self.outstanding.remove(&(base, order)),
+        assert_eq!(
+            self.outstanding.remove(base),
+            Some(order),
             "double or invalid free of block {base:#x} order {order}"
         );
         let freed_frames = 1u64 << order;

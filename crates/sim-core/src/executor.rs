@@ -6,10 +6,15 @@
 //! (so the `Waker` contract is honoured even if one escapes), but in
 //! practice everything stays on one thread and execution is deterministic:
 //! the ready queue is FIFO and timers break ties by registration sequence.
+//!
+//! Hot-path representation (the slab refactor, DESIGN.md §11): tasks
+//! live in a dense slot arena with an intrusive ready list threaded
+//! through them (each task carries a per-slot cached waker, so polling
+//! allocates nothing), and timers live in a hierarchical timer wheel
+//! ([`crate::wheel`]) that batches same-tick wakeups. Both preserve the
+//! historical FIFO / `(deadline, seq)` orders bit-for-bit.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
@@ -19,33 +24,54 @@ use std::sync::Arc;
 // and never blocks on virtual time.
 // simlint: allow(std-sync): Waker contract requires a Send+Sync queue
 use std::sync::Mutex;
+// simlint: allow(std-sync): lock-free fast path of the wake queue above
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::task::{Context, Poll, Wake, Waker};
 
 use crate::explore::{ExplorationPolicy, Explorer, RunProgress};
 use crate::lockdep::{LockDep, TaskKey, MAIN_TASK};
 use crate::race::{CurrentGuard, RaceDetector};
 use crate::time::{Nanos, SimTime};
+use crate::wheel::TimerWheel;
 
 type TaskId = usize;
 type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
 
+/// Sentinel for "no task" in the intrusive ready list.
+const NO_TASK: TaskId = usize::MAX;
+
 /// Thread-safe queue that wakers push task ids into.
 ///
 /// Kept behind a real `Mutex` so that `Waker::wake` is sound even if a
-/// waker is (incorrectly but safely) moved to another thread.
+/// waker is (incorrectly but safely) moved to another thread. The
+/// executor drains this once per loop iteration, and most iterations
+/// find it empty, so an atomic count (updated under the lock) lets the
+/// empty case skip the Mutex entirely.
 #[derive(Default)]
 struct WakeQueue {
     ids: Mutex<Vec<TaskId>>,
+    // simlint: allow(std-sync): pairs with the Mutex above (same contract)
+    len: AtomicUsize,
 }
 
 impl WakeQueue {
     fn push(&self, id: TaskId) {
-        self.ids.lock().expect("wake queue poisoned").push(id);
+        let mut q = self.ids.lock().expect("wake queue poisoned");
+        q.push(id);
+        self.len.store(q.len(), Ordering::Release);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len.load(Ordering::Acquire) == 0
     }
 
     fn drain_into(&self, out: &mut Vec<TaskId>) {
+        if self.is_empty() {
+            return;
+        }
         let mut q = self.ids.lock().expect("wake queue poisoned");
         out.append(&mut q);
+        self.len.store(0, Ordering::Release);
     }
 }
 
@@ -69,29 +95,54 @@ struct Task {
     /// True while the task id sits in the executor's ready queue, to
     /// de-duplicate redundant wakes.
     enqueued: bool,
+    /// Next task in the intrusive ready list ([`NO_TASK`] at the tail,
+    /// meaningless while not enqueued).
+    next_ready: TaskId,
+    /// The slot's cached waker, created once at spawn: polling clones
+    /// the `Rc` (a non-atomic refcount bump) instead of allocating a
+    /// fresh `Arc` — or touching its atomic refcount — per poll.
+    waker: Rc<Waker>,
     /// simsan join-sync id released when the task completes (0 when the
     /// race detector is disabled).
     race_join: u32,
 }
 
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct TimerEntry {
-    deadline: SimTime,
-    seq: u64,
+/// What a fired timer delivers. `Sleep` resolves to `Task` whenever it
+/// is polled with the owning task's own waker (the overwhelmingly common
+/// case), letting the executor move the task straight onto the ready
+/// list — no `Arc` refcount traffic, no wake-queue Mutex round-trip.
+enum TimerTarget {
+    /// Enqueue this task directly.
+    Task(TaskId),
+    /// A foreign waker (combinator-wrapped or out-of-executor poll):
+    /// woken the generic way.
+    External(Waker),
 }
 
 struct ExecCore {
     now: Cell<SimTime>,
     tasks: RefCell<Vec<Option<Task>>>,
     free_ids: RefCell<Vec<TaskId>>,
-    ready: RefCell<VecDeque<TaskId>>,
+    /// Intrusive FIFO ready list threaded through `Task::next_ready`.
+    ready_head: Cell<TaskId>,
+    ready_tail: Cell<TaskId>,
+    ready_len: Cell<usize>,
     wake_queue: Arc<WakeQueue>,
-    /// Min-heap of pending timers; the waker map is keyed by sequence.
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    timer_wakers: RefCell<std::collections::BTreeMap<u64, Waker>>,
+    /// Pending timers: hierarchical wheel, fired in `(deadline, seq)`
+    /// order with same-tick wakeups batched (see [`crate::wheel`]).
+    wheel: RefCell<TimerWheel<TimerTarget>>,
+    /// The waker of the task currently being polled (`None` outside
+    /// `poll_one`), so `Sleep` can tell "polled with the task's own
+    /// waker" from a wrapped one via `will_wake`.
+    current_waker: RefCell<Option<Rc<Waker>>>,
     timer_seq: Cell<u64>,
     live_tasks: Cell<usize>,
     drain_buf: RefCell<Vec<TaskId>>,
+    /// Scratch for timer fire batches.
+    fire_buf: RefCell<Vec<TimerTarget>>,
+    /// Scratch for non-FIFO exploration picks: the ready list
+    /// materialized as a dense slice of slot ids.
+    pick_buf: RefCell<Vec<TaskId>>,
     /// Task currently being polled, for lockdep hold tracking.
     current: Cell<Option<TaskId>>,
     lockdep: LockDep,
@@ -109,13 +160,17 @@ impl ExecCore {
             now: Cell::new(SimTime::ZERO),
             tasks: RefCell::new(Vec::new()),
             free_ids: RefCell::new(Vec::new()),
-            ready: RefCell::new(VecDeque::new()),
+            ready_head: Cell::new(NO_TASK),
+            ready_tail: Cell::new(NO_TASK),
+            ready_len: Cell::new(0),
             wake_queue: Arc::new(WakeQueue::default()),
-            timers: RefCell::new(BinaryHeap::new()),
-            timer_wakers: RefCell::new(std::collections::BTreeMap::new()),
+            wheel: RefCell::new(TimerWheel::new()),
+            current_waker: RefCell::new(None),
             timer_seq: Cell::new(0),
             live_tasks: Cell::new(0),
             drain_buf: RefCell::new(Vec::new()),
+            fire_buf: RefCell::new(Vec::new()),
+            pick_buf: RefCell::new(Vec::new()),
             current: Cell::new(None),
             lockdep: LockDep::default(),
             explorer: Explorer::new(policy),
@@ -124,18 +179,73 @@ impl ExecCore {
         })
     }
 
-    /// Removes and returns the next task id to poll, as chosen by the
-    /// exploration policy. Index 0 (the FIFO case) is a plain
-    /// `pop_front`, preserving the historical schedule bit-for-bit.
-    fn pick_ready(&self) -> Option<TaskId> {
-        let mut ready = self.ready.borrow_mut();
-        if ready.is_empty() {
+    /// Appends `id` to the intrusive ready list. The caller must have
+    /// checked `enqueued` (the list cannot hold duplicates).
+    fn push_ready(&self, tasks: &mut [Option<Task>], id: TaskId) {
+        let task = tasks[id].as_mut().expect("enqueued task exists");
+        debug_assert!(task.enqueued);
+        task.next_ready = NO_TASK;
+        let tail = self.ready_tail.get();
+        if tail == NO_TASK {
+            self.ready_head.set(id);
+        } else {
+            tasks[tail].as_mut().expect("ready tail exists").next_ready = id;
+        }
+        self.ready_tail.set(id);
+        self.ready_len.set(self.ready_len.get() + 1);
+    }
+
+    /// Pops the front of the intrusive ready list.
+    fn pop_ready_front(&self, tasks: &mut [Option<Task>]) -> Option<TaskId> {
+        let id = self.ready_head.get();
+        if id == NO_TASK {
             return None;
         }
-        match self.explorer.pick(&ready) {
-            0 => ready.pop_front(),
-            idx => ready.remove(idx),
+        let next = tasks[id].as_ref().expect("ready task exists").next_ready;
+        self.ready_head.set(next);
+        if next == NO_TASK {
+            self.ready_tail.set(NO_TASK);
         }
+        self.ready_len.set(self.ready_len.get() - 1);
+        Some(id)
+    }
+
+    /// Removes and returns the next task id to poll, as chosen by the
+    /// exploration policy. The FIFO case pops the list head directly —
+    /// no materialization, no RNG — preserving the historical schedule
+    /// bit-for-bit. Exploration policies see the ready list as a dense
+    /// slice of stable slot ids.
+    fn pick_ready(&self) -> Option<TaskId> {
+        let mut tasks = self.tasks.borrow_mut();
+        if self.explorer.is_fifo() {
+            return self.pop_ready_front(&mut tasks);
+        }
+        if self.ready_len.get() == 0 {
+            return None;
+        }
+        let mut buf = self.pick_buf.borrow_mut();
+        buf.clear();
+        let mut id = self.ready_head.get();
+        while id != NO_TASK {
+            buf.push(id);
+            id = tasks[id].as_ref().expect("ready task exists").next_ready;
+        }
+        let idx = self.explorer.pick(&buf);
+        let chosen = buf[idx];
+        // Unlink `chosen`; its predecessor is the materialized slice's
+        // previous element.
+        let next = tasks[chosen].as_ref().expect("chosen task exists").next_ready;
+        if idx == 0 {
+            self.ready_head.set(next);
+        } else {
+            let prev = buf[idx - 1];
+            tasks[prev].as_mut().expect("predecessor exists").next_ready = next;
+        }
+        if next == NO_TASK {
+            self.ready_tail.set(if idx == 0 { NO_TASK } else { buf[idx - 1] });
+        }
+        self.ready_len.set(self.ready_len.get() - 1);
+        Some(chosen)
     }
 
     /// Spawns a task; returns its (recycled) slot id and the simsan
@@ -160,28 +270,60 @@ impl ExecCore {
         self.tasks.borrow_mut()[id] = Some(Task {
             future: Some(future),
             enqueued: true,
+            next_ready: NO_TASK,
+            waker: Rc::new(Waker::from(Arc::new(TaskWaker {
+                queue: Arc::clone(&self.wake_queue),
+                id,
+            }))),
             race_join: join_sync,
         });
         if let Some(det) = &race {
             det.task_begin(id as u64, fork_sync);
         }
         self.live_tasks.set(self.live_tasks.get() + 1);
-        self.ready.borrow_mut().push_back(id);
+        self.push_ready(&mut self.tasks.borrow_mut(), id);
         (id, join_sync)
     }
 
-    fn register_timer(&self, deadline: SimTime, waker: Waker) -> u64 {
+    fn register_timer(&self, deadline: SimTime, target: TimerTarget) -> u64 {
         let seq = self.timer_seq.get();
         self.timer_seq.set(seq + 1);
-        self.timers
-            .borrow_mut()
-            .push(Reverse(TimerEntry { deadline, seq }));
-        self.timer_wakers.borrow_mut().insert(seq, waker);
+        self.wheel.borrow_mut().insert(deadline.as_nanos(), seq, target);
         seq
+    }
+
+    /// Resolves the [`TimerTarget`] for a timer registered from the poll
+    /// context `cx`: the current task's id when `cx` carries that task's
+    /// own waker, otherwise the waker itself.
+    fn timer_target(&self, cx: &Context<'_>) -> TimerTarget {
+        if let Some(id) = self.current.get() {
+            if let Some(w) = self.current_waker.borrow().as_deref() {
+                if cx.waker().will_wake(w) {
+                    return TimerTarget::Task(id);
+                }
+            }
+        }
+        TimerTarget::External(cx.waker().clone())
+    }
+
+    /// Puts `id` straight onto the ready list (a fired timer's direct
+    /// wake) — the same transition `absorb_wakes` performs, minus the
+    /// queue round-trip.
+    fn wake_task_direct(&self, id: TaskId) {
+        let mut tasks = self.tasks.borrow_mut();
+        if let Some(Some(task)) = tasks.get_mut(id) {
+            if !task.enqueued {
+                task.enqueued = true;
+                self.push_ready(&mut tasks, id);
+            }
+        }
     }
 
     /// Moves externally-woken tasks into the FIFO ready queue.
     fn absorb_wakes(&self) {
+        if self.wake_queue.is_empty() {
+            return;
+        }
         let mut buf = self.drain_buf.borrow_mut();
         buf.clear();
         self.wake_queue.drain_into(&mut buf);
@@ -189,23 +331,23 @@ impl ExecCore {
             return;
         }
         let mut tasks = self.tasks.borrow_mut();
-        let mut ready = self.ready.borrow_mut();
         for &id in buf.iter() {
             if let Some(Some(task)) = tasks.get_mut(id) {
                 if !task.enqueued {
                     task.enqueued = true;
-                    ready.push_back(id);
+                    self.push_ready(&mut tasks, id);
                 }
             }
         }
     }
 
     /// Advances the clock to the earliest pending timer and fires every
-    /// timer whose deadline has been reached. Returns false if no timer
-    /// was pending.
+    /// timer whose deadline has been reached, one same-deadline batch at
+    /// a time in `(deadline, seq)` order. Returns false if no timer was
+    /// pending.
     fn advance_to_next_timer(&self) -> bool {
-        let next = match self.timers.borrow_mut().peek() {
-            Some(Reverse(e)) => e.deadline,
+        let next = match self.wheel.borrow().peek() {
+            Some(d) => SimTime::from_nanos(d),
             None => return false,
         };
         debug_assert!(next >= self.now.get(), "timer in the past");
@@ -213,46 +355,37 @@ impl ExecCore {
             self.lockdep.check_time_advance(self.now.get(), next);
         }
         self.now.set(self.now.get().max(next));
+        let now = self.now.get().as_nanos();
+        let mut fired = self.fire_buf.borrow_mut();
         loop {
-            let fire = {
-                let mut timers = self.timers.borrow_mut();
-                match timers.peek() {
-                    Some(Reverse(e)) if e.deadline <= self.now.get() => {
-                        let Reverse(e) = timers.pop().expect("peeked entry vanished");
-                        Some(e.seq)
-                    }
-                    _ => None,
+            fired.clear();
+            if !self.wheel.borrow_mut().fire_next(now, &mut fired) {
+                break;
+            }
+            for target in fired.drain(..) {
+                match target {
+                    TimerTarget::Task(id) => self.wake_task_direct(id),
+                    TimerTarget::External(w) => w.wake(),
                 }
-            };
-            match fire {
-                Some(seq) => {
-                    if let Some(waker) = self.timer_wakers.borrow_mut().remove(&seq) {
-                        waker.wake();
-                    }
-                }
-                None => break,
             }
         }
         true
     }
 
     fn poll_one(self: &Rc<Self>, id: TaskId, race: Option<&Rc<RaceDetector>>) {
-        let (mut future, race_join) = {
+        let (mut future, waker, race_join) = {
             let mut tasks = self.tasks.borrow_mut();
             let Some(Some(task)) = tasks.get_mut(id) else {
                 return;
             };
             task.enqueued = false;
             match task.future.take() {
-                Some(f) => (f, task.race_join),
+                Some(f) => (f, Rc::clone(&task.waker), task.race_join),
                 None => return,
             }
         };
-        let waker = Waker::from(Arc::new(TaskWaker {
-            queue: Arc::clone(&self.wake_queue),
-            id,
-        }));
         let mut cx = Context::from_waker(&waker);
+        *self.current_waker.borrow_mut() = Some(Rc::clone(&waker));
         self.current.set(Some(id));
         if let Some(det) = race {
             det.set_now(self.now.get().as_nanos());
@@ -263,6 +396,7 @@ impl ExecCore {
             det.exit();
         }
         self.current.set(None);
+        *self.current_waker.borrow_mut() = None;
         match polled {
             Poll::Ready(()) => {
                 if let Some(det) = race {
@@ -325,7 +459,7 @@ impl ExecCore {
                 return true;
             }
             self.absorb_wakes();
-            let runnable = !self.ready.borrow().is_empty();
+            let runnable = self.ready_len.get() != 0;
             if runnable && max_polls.is_some_and(|b| self.polls.get() - start_polls >= b) {
                 return false;
             }
@@ -337,7 +471,7 @@ impl ExecCore {
                 }
                 None => {
                     if let Some(d) = deadline {
-                        let next_timer = self.timers.borrow().peek().map(|Reverse(e)| e.deadline);
+                        let next_timer = self.wheel.borrow().peek().map(SimTime::from_nanos);
                         match next_timer {
                             Some(t) if t <= d => {
                                 self.advance_to_next_timer();
@@ -460,7 +594,8 @@ impl Future for Sleep {
         if !self.registered {
             self.registered = true;
             let deadline = self.deadline;
-            self.core.register_timer(deadline, cx.waker().clone());
+            let target = self.core.timer_target(cx);
+            self.core.register_timer(deadline, target);
         }
         Poll::Pending
     }
@@ -731,6 +866,28 @@ mod tests {
         }
         sim.run();
         assert_eq!(&*log.borrow(), &["b", "c", "a"]);
+    }
+
+    #[test]
+    fn two_sleepers_at_one_instant_both_wake() {
+        // Regression guard for the timer-wheel slot lists: two timers
+        // registered for the same deadline tick must both keep their
+        // wakers (a tick-keyed `BTreeMap<tick, Waker>` would silently
+        // drop the second registration) and fire as one batch.
+        let sim = Simulation::new();
+        let h = sim.handle();
+        let woken = Rc::new(Cell::new(0u32));
+        for _ in 0..2 {
+            let h2 = h.clone();
+            let woken2 = Rc::clone(&woken);
+            sim.spawn(async move {
+                h2.sleep(1_000).await;
+                woken2.set(woken2.get() + 1);
+                assert_eq!(h2.now().as_nanos(), 1_000);
+            });
+        }
+        sim.run();
+        assert_eq!(woken.get(), 2, "both same-instant sleepers must wake");
     }
 
     #[test]

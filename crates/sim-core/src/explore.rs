@@ -22,8 +22,11 @@
 //! uninterrupted between yields, so code that relies on the executor's
 //! run-to-completion atomicity (e.g. the PTE lock fast path) stays
 //! correct under every policy.
-
-use std::collections::VecDeque;
+//!
+//! The executor keeps its ready queue as an intrusive list through the
+//! task arena; policies see it as a dense slice of stable slot ids
+//! (materialized only for non-FIFO policies — the FIFO fast path pops
+//! the list head without consulting the explorer at all).
 
 use crate::rng::{mix64, SplitMix64};
 use crate::time::SimTime;
@@ -93,9 +96,16 @@ impl Explorer {
         self.policy
     }
 
+    /// True for the default FIFO policy — the executor's fast path pops
+    /// the ready-list head directly, consuming no RNG.
+    pub(crate) fn is_fifo(&self) -> bool {
+        matches!(self.policy, ExplorationPolicy::Fifo)
+    }
+
     /// Picks the index of the next task to poll from a non-empty ready
-    /// queue. Index 0 preserves the FIFO fast path exactly.
-    pub(crate) fn pick(&self, ready: &VecDeque<usize>) -> usize {
+    /// set, given as a dense slice of stable task slot ids in FIFO
+    /// order. Index 0 preserves the FIFO schedule exactly.
+    pub(crate) fn pick(&self, ready: &[usize]) -> usize {
         debug_assert!(!ready.is_empty(), "pick on an empty ready queue");
         match self.policy {
             ExplorationPolicy::Fifo => 0,
@@ -126,15 +136,12 @@ impl Explorer {
 mod tests {
     use super::*;
 
-    fn queue(ids: &[usize]) -> VecDeque<usize> {
-        ids.iter().copied().collect()
-    }
-
     #[test]
     fn fifo_always_picks_front() {
         let e = Explorer::new(ExplorationPolicy::Fifo);
+        assert!(e.is_fifo());
         for _ in 0..32 {
-            assert_eq!(e.pick(&queue(&[3, 1, 2])), 0);
+            assert_eq!(e.pick(&[3, 1, 2]), 0);
         }
     }
 
@@ -142,7 +149,8 @@ mod tests {
     fn seeded_random_is_reproducible_and_covers() {
         let picks = |seed| {
             let e = Explorer::new(ExplorationPolicy::SeededRandom { seed });
-            (0..64).map(|_| e.pick(&queue(&[0, 1, 2, 3]))).collect::<Vec<_>>()
+            assert!(!e.is_fifo());
+            (0..64).map(|_| e.pick(&[0, 1, 2, 3])).collect::<Vec<_>>()
         };
         assert_eq!(picks(7), picks(7), "same seed, same pick sequence");
         assert_ne!(picks(7), picks(8), "different seeds diverge");
@@ -158,12 +166,12 @@ mod tests {
         // A single runnable task is not a choice point: the pick stream
         // must not advance, so schedules depend only on real decisions.
         let e = Explorer::new(ExplorationPolicy::SeededRandom { seed: 9 });
-        let before: Vec<usize> = (0..8).map(|_| e.pick(&queue(&[0, 1]))).collect();
+        let before: Vec<usize> = (0..8).map(|_| e.pick(&[0, 1])).collect();
         let f = Explorer::new(ExplorationPolicy::SeededRandom { seed: 9 });
         let mut after = Vec::new();
         for _ in 0..8 {
-            assert_eq!(f.pick(&queue(&[5])), 0);
-            after.push(f.pick(&queue(&[0, 1])));
+            assert_eq!(f.pick(&[5]), 0);
+            after.push(f.pick(&[0, 1]));
         }
         assert_eq!(before, after);
     }
@@ -172,16 +180,16 @@ mod tests {
     fn priority_fuzz_orders_by_fixed_priorities() {
         let e = Explorer::new(ExplorationPolicy::PriorityFuzz { seed: 3 });
         // The winner among a fixed id set never changes...
-        let first = e.pick(&queue(&[10, 11, 12, 13]));
+        let first = e.pick(&[10, 11, 12, 13]);
         for _ in 0..16 {
-            assert_eq!(e.pick(&queue(&[10, 11, 12, 13])), first);
+            assert_eq!(e.pick(&[10, 11, 12, 13]), first);
         }
         // ...and removing it promotes a deterministic runner-up.
         let mut q: Vec<usize> = vec![10, 11, 12, 13];
         q.remove(first);
-        let second = e.pick(&q.iter().copied().collect());
+        let second = e.pick(&q);
         for _ in 0..16 {
-            assert_eq!(e.pick(&q.iter().copied().collect()), second);
+            assert_eq!(e.pick(&q), second);
         }
     }
 

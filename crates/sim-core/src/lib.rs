@@ -41,11 +41,13 @@ pub mod explore;
 pub mod lockdep;
 pub mod race;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod sync;
 pub mod sync_ext;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use executor::{JoinHandle, SimHandle, Simulation};
 pub use explore::{ExplorationPolicy, RunProgress};

@@ -68,12 +68,31 @@ struct Inner {
     names: Vec<String>,
     /// Class id → "must not be held across a virtual-time advance".
     no_hold_across_sleep: Vec<bool>,
+    /// True once any class opted into `forbid_hold_across_sleep`; lets
+    /// [`LockDep::check_time_advance`] (called on every clock advance)
+    /// return without scanning anything in the common case.
+    any_forbidden: bool,
     /// Name → class id (classes are deduplicated by name).
     by_name: BTreeMap<String, u32>,
-    /// Acquisition graph: from-class → to-class → first origin.
-    edges: BTreeMap<u32, BTreeMap<u32, EdgeOrigin>>,
-    /// Per-task stacks of currently held locks.
-    held: BTreeMap<TaskKey, Vec<Held>>,
+    /// Acquisition graph, indexed by from-class: `edges[from]` maps
+    /// to-class → first origin. Grown alongside `names` in
+    /// `register_class`. The inner map stays ordered so `find_path`
+    /// visits neighbours in deterministic class-id order.
+    edges: Vec<BTreeMap<u32, EdgeOrigin>>,
+    /// Per-task stacks of currently held locks, indexed by
+    /// [`task_slot`]. Task ids are dense executor indices, so a Vec
+    /// beats the ordered map this used to be: `acquired`/`release` run
+    /// once per lock cycle on the engine's hot paths. Empty stacks stay
+    /// in place rather than being evicted.
+    held: Vec<Vec<Held>>,
+    /// Total held guards across all tasks (sum of `held[*].len()`).
+    held_total: usize,
+}
+
+/// Dense index for a task's `held` stack: tasks are numbered from 0 by
+/// the executor, and [`MAIN_TASK`] (`u64::MAX`) wraps to slot 0.
+fn task_slot(task: TaskKey) -> usize {
+    task.wrapping_add(1) as usize
 }
 
 impl Inner {
@@ -89,14 +108,12 @@ impl Inner {
             if std::mem::replace(&mut visited[node as usize], true) {
                 continue;
             }
-            if let Some(outs) = self.edges.get(&node) {
-                // Reverse so the smallest class id is explored first
-                // (stack pops last-pushed).
-                for (&next, _) in outs.iter().rev() {
-                    let mut p = path.clone();
-                    p.push((node, next));
-                    stack.push((next, p));
-                }
+            // Reverse so the smallest class id is explored first
+            // (stack pops last-pushed).
+            for (&next, _) in self.edges[node as usize].iter().rev() {
+                let mut p = path.clone();
+                p.push((node, next));
+                stack.push((next, p));
             }
         }
         None
@@ -145,13 +162,16 @@ impl LockDep {
         let id = inner.names.len() as u32;
         inner.names.push(name.to_string());
         inner.no_hold_across_sleep.push(false);
+        inner.edges.push(BTreeMap::new());
         inner.by_name.insert(name.to_string(), id);
         id
     }
 
     /// Marks `class` as forbidden to hold across a virtual-time advance.
     pub(crate) fn forbid_hold_across_sleep(&self, class: u32) {
-        self.inner.borrow_mut().no_hold_across_sleep[class as usize] = true;
+        let mut inner = self.inner.borrow_mut();
+        inner.no_hold_across_sleep[class as usize] = true;
+        inner.any_forbidden = true;
     }
 
     /// Validates an acquisition *attempt* of `class` by `task` at
@@ -165,7 +185,16 @@ impl LockDep {
     /// closes a cycle in the acquisition graph.
     pub(crate) fn check_acquire(&self, task: TaskKey, class: u32, site: &'static Location<'static>) {
         let mut inner = self.inner.borrow_mut();
-        let stack = inner.held.get(&task).cloned().unwrap_or_default();
+        // Take the stack out instead of cloning it: the outermost lock of
+        // an uncontended cycle goes through here with nothing held, and
+        // even nested acquisitions only clone when a *new* edge needs an
+        // origin snapshot. The stack goes back before returning (the
+        // panic arms abandon it — lockdep state is moot mid-panic).
+        let slot = task_slot(task);
+        let stack = match inner.held.get_mut(slot) {
+            Some(s) if !s.is_empty() => std::mem::take(s),
+            _ => return,
+        };
         let acquired = Held { class, site };
         for h in &stack {
             // Same-class nesting (shard arrays, ordered same-type locks)
@@ -173,11 +202,7 @@ impl LockDep {
             if h.class == class {
                 continue;
             }
-            if inner
-                .edges
-                .get(&h.class)
-                .is_some_and(|outs| outs.contains_key(&class))
-            {
+            if inner.edges[h.class as usize].contains_key(&class) {
                 continue;
             }
             // New edge h.class → class: adding it creates a cycle iff the
@@ -200,7 +225,7 @@ impl LockDep {
                     inner.names[h.class as usize],
                 );
                 for (a, b) in &path {
-                    let origin = &inner.edges[a][b];
+                    let origin = &inner.edges[*a as usize][b];
                     msg.push_str(&format!(
                         "    {} -> {}: {}\n",
                         inner.names[*a as usize],
@@ -224,33 +249,29 @@ impl LockDep {
                 stack: stack.clone(),
                 acquired,
             };
-            inner
-                .edges
-                .entry(h.class)
-                .or_default()
-                .insert(class, origin);
+            inner.edges[h.class as usize].insert(class, origin);
         }
+        inner.held[slot] = stack;
     }
 
     /// Records that `task` now holds `class` (acquisition succeeded).
     pub(crate) fn acquired(&self, task: TaskKey, class: u32, site: &'static Location<'static>) {
-        self.inner
-            .borrow_mut()
-            .held
-            .entry(task)
-            .or_default()
-            .push(Held { class, site });
+        let mut inner = self.inner.borrow_mut();
+        let slot = task_slot(task);
+        if slot >= inner.held.len() {
+            inner.held.resize_with(slot + 1, Vec::new);
+        }
+        inner.held[slot].push(Held { class, site });
+        inner.held_total += 1;
     }
 
     /// Records the release of `class` by `task` (innermost matching hold).
     pub(crate) fn release(&self, task: TaskKey, class: u32) {
         let mut inner = self.inner.borrow_mut();
-        if let Some(stack) = inner.held.get_mut(&task) {
+        if let Some(stack) = inner.held.get_mut(task_slot(task)) {
             if let Some(pos) = stack.iter().rposition(|h| h.class == class) {
                 stack.remove(pos);
-            }
-            if stack.is_empty() {
-                inner.held.remove(&task);
+                inner.held_total -= 1;
             }
         }
     }
@@ -266,7 +287,21 @@ impl LockDep {
     /// guard still live.
     pub(crate) fn check_time_advance(&self, now: SimTime, next: SimTime) {
         let inner = self.inner.borrow();
-        for (&task, stack) in &inner.held {
+        // Fast path: the executor calls this on every clock advance, and
+        // almost no run registers a forbidden class or is even holding a
+        // guard at advance time.
+        if !inner.any_forbidden || inner.held_total == 0 {
+            return;
+        }
+        // Slot 0 is MAIN_TASK (u64::MAX), which the ordered map this
+        // replaced reported *last*; keep that report order.
+        for slot in (1..inner.held.len()).chain(std::iter::once(0)) {
+            let stack = &inner.held[slot];
+            let task = if slot == 0 {
+                MAIN_TASK
+            } else {
+                (slot - 1) as TaskKey
+            };
             for h in stack {
                 if inner.no_hold_across_sleep[h.class as usize] {
                     let chain = stack
@@ -295,7 +330,7 @@ impl LockDep {
 
     /// Number of distinct ordering edges observed so far.
     pub fn edges(&self) -> usize {
-        self.inner.borrow().edges.values().map(|m| m.len()).sum()
+        self.inner.borrow().edges.iter().map(|m| m.len()).sum()
     }
 }
 

@@ -8,7 +8,7 @@
 //! *emerge* from the simulated mechanism rather than being assumed.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::future::Future;
 use std::panic::Location;
 use std::pin::Pin;
@@ -71,11 +71,23 @@ impl LockStats {
 struct MutexCtl {
     next_ticket: Cell<u64>,
     now_serving: Cell<u64>,
-    wakers: RefCell<BTreeMap<u64, Waker>>,
+    /// Waiters' wakers, keyed by ticket. Registration happens at
+    /// poll-time (not ticket order) and handoff needs a lookup by the
+    /// served ticket, so this is an association list — queues are short
+    /// and a linear scan beats the ordered map it replaced on the
+    /// lock/unlock hot path.
+    wakers: RefCell<Vec<(u64, Waker)>>,
     abandoned: RefCell<BTreeSet<u64>>,
 }
 
 impl MutexCtl {
+    /// Removes and returns the waker registered for `ticket`, if any.
+    fn take_waker(&self, ticket: u64) -> Option<Waker> {
+        let mut wakers = self.wakers.borrow_mut();
+        let pos = wakers.iter().position(|(t, _)| *t == ticket)?;
+        Some(wakers.swap_remove(pos).1)
+    }
+
     /// Advances `now_serving` past abandoned tickets and wakes the holder
     /// of the newly served ticket, if any is waiting.
     fn serve_next(&self) {
@@ -87,7 +99,7 @@ impl MutexCtl {
             }
         }
         self.now_serving.set(serving);
-        if let Some(w) = self.wakers.borrow_mut().remove(&serving) {
+        if let Some(w) = self.take_waker(serving) {
             w.wake();
         }
     }
@@ -157,7 +169,7 @@ impl<T> SimMutex<T> {
             ctl: MutexCtl {
                 next_ticket: Cell::new(0),
                 now_serving: Cell::new(0),
-                wakers: RefCell::new(BTreeMap::new()),
+                wakers: RefCell::new(Vec::new()),
                 abandoned: RefCell::new(BTreeSet::new()),
             },
             value: RefCell::new(value),
@@ -264,10 +276,11 @@ impl<'a, T> Future for MutexLock<'a, T> {
                 task,
             })
         } else {
-            m.ctl
-                .wakers
-                .borrow_mut()
-                .insert(self.ticket, cx.waker().clone());
+            let mut wakers = m.ctl.wakers.borrow_mut();
+            match wakers.iter_mut().find(|(t, _)| *t == self.ticket) {
+                Some(entry) => entry.1 = cx.waker().clone(),
+                None => wakers.push((self.ticket, cx.waker().clone())),
+            }
             Poll::Pending
         }
     }
@@ -281,7 +294,7 @@ impl<T> Drop for MutexLock<'_, T> {
         // Cancelled before acquisition: retire the ticket so the queue
         // does not stall on it.
         let m = self.mutex;
-        m.ctl.wakers.borrow_mut().remove(&self.ticket);
+        m.ctl.take_waker(self.ticket);
         if m.ctl.now_serving.get() == self.ticket {
             m.ctl.serve_next();
         } else {

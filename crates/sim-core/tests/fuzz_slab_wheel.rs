@@ -1,0 +1,194 @@
+//! Seeded differential fuzz of the slab-refactor data structures against
+//! ordered-map shadow models.
+//!
+//! The hot-path refactor (DESIGN.md §11) replaced the executor's
+//! `BinaryHeap + BTreeMap` timer pair and the per-page `BTreeMap` indexes
+//! with a hierarchical [`TimerWheel`], an open-addressed [`PageMap`] and a
+//! free-list [`Slab`]. The refactor is pinned end-to-end by the golden
+//! seam tests; these fuzz runs pin it structure-by-structure: for each
+//! seeded op stream, the new structure must agree exactly — contents,
+//! sorted iteration order, and timer fire order — with the `BTreeMap` /
+//! `BTreeSet` it replaced. Everything is seeded [`SplitMix64`], so a
+//! failure reproduces bit-for-bit from the printed seed.
+
+use mage_sim::rng::SplitMix64;
+use mage_sim::slab::{PageMap, Slab};
+use mage_sim::wheel::TimerWheel;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::task::{Wake, Waker};
+
+const SEEDS: [u64; 4] = [1, 42, 0xDEAD_BEEF, 0x5EED_5EED_5EED_5EED];
+
+#[test]
+fn pagemap_matches_btreemap_shadow() {
+    for seed in SEEDS {
+        let rng = SplitMix64::new(seed);
+        let mut map: PageMap<u64> = PageMap::new();
+        let mut shadow: BTreeMap<u64, u64> = BTreeMap::new();
+        for step in 0..20_000u64 {
+            // Narrow key space forces probe collisions, backward-shift
+            // deletes and growth through several capacities.
+            let key = rng.next_below(512);
+            match rng.next_below(10) {
+                0..=4 => {
+                    let val = rng.next_u64();
+                    assert_eq!(
+                        map.insert(key, val),
+                        shadow.insert(key, val),
+                        "seed {seed} step {step}: insert({key}) disagreed"
+                    );
+                }
+                5..=7 => {
+                    assert_eq!(
+                        map.remove(key),
+                        shadow.remove(&key),
+                        "seed {seed} step {step}: remove({key}) disagreed"
+                    );
+                }
+                8 => {
+                    let val = rng.next_u64();
+                    let got = *map.get_or_insert_with(key, || val);
+                    let want = *shadow.entry(key).or_insert(val);
+                    assert_eq!(got, want, "seed {seed} step {step}: get_or_insert({key})");
+                }
+                _ => {
+                    assert_eq!(
+                        map.get(key),
+                        shadow.get(&key),
+                        "seed {seed} step {step}: get({key}) disagreed"
+                    );
+                    assert_eq!(map.contains_key(key), shadow.contains_key(&key));
+                }
+            }
+            assert_eq!(map.len(), shadow.len(), "seed {seed} step {step}: len");
+            if step % 512 == 0 {
+                let got: Vec<(u64, u64)> = map.iter_sorted().into_iter().map(|(k, &v)| (k, v)).collect();
+                let want: Vec<(u64, u64)> = shadow.iter().map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(got, want, "seed {seed} step {step}: sorted iteration diverged");
+            }
+        }
+        let got: Vec<(u64, u64)> = map.iter_sorted().into_iter().map(|(k, &v)| (k, v)).collect();
+        let want: Vec<(u64, u64)> = shadow.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want, "seed {seed}: final contents diverged");
+    }
+}
+
+#[test]
+fn slab_matches_shadow_and_recycles_deterministically() {
+    for seed in SEEDS {
+        let rng = SplitMix64::new(seed);
+        let mut slab: Slab<u64> = Slab::new();
+        let mut shadow: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut live: Vec<u32> = Vec::new();
+        for step in 0..20_000u64 {
+            if live.is_empty() || rng.next_below(10) < 6 {
+                let val = rng.next_u64();
+                let key = slab.insert(val);
+                assert!(
+                    shadow.insert(key, val).is_none(),
+                    "seed {seed} step {step}: slab reused live key {key}"
+                );
+                live.push(key);
+            } else {
+                let idx = rng.next_below(live.len() as u64) as usize;
+                let key = live.swap_remove(idx);
+                assert_eq!(
+                    slab.remove(key),
+                    shadow.remove(&key),
+                    "seed {seed} step {step}: remove({key}) disagreed"
+                );
+                assert!(!slab.contains(key));
+                assert_eq!(slab.get(key), None, "stale key must read as vacant");
+            }
+            assert_eq!(slab.len(), shadow.len(), "seed {seed} step {step}: len");
+            if step % 1024 == 0 {
+                let got: Vec<u32> = slab.keys_sorted().collect();
+                let want: Vec<u32> = shadow.keys().copied().collect();
+                assert_eq!(got, want, "seed {seed} step {step}: key sets diverged");
+                for &k in &want {
+                    assert_eq!(slab.get(k), shadow.get(&k));
+                }
+            }
+        }
+    }
+}
+
+/// Records the firing timer's seq into a shared log when woken.
+struct RecordWake {
+    seq: u64,
+    log: Arc<Mutex<Vec<u64>>>,
+}
+
+impl Wake for RecordWake {
+    fn wake(self: Arc<Self>) {
+        self.log.lock().unwrap().push(self.seq);
+    }
+}
+
+#[test]
+fn wheel_fire_order_matches_btreeset_shadow() {
+    for seed in SEEDS {
+        let rng = SplitMix64::new(seed);
+        let log: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut wheel = TimerWheel::new();
+        // Shadow of the executor's historical timer pair: ascending
+        // (deadline, seq) is the contract the wheel must reproduce.
+        let mut shadow: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut cur = 0u64;
+        let mut seq = 0u64;
+        let mut out: Vec<Waker> = Vec::new();
+        for round in 0..2_000u64 {
+            // Insert a burst of timers with deltas spanning wheel levels:
+            // same-tick (0), small, and up to ~2^40 ns jumps.
+            for _ in 0..rng.next_below(4) + 1 {
+                let delta = match rng.next_below(4) {
+                    0 => 0,
+                    1 => rng.next_below(64),
+                    2 => rng.next_below(1 << 18),
+                    _ => rng.next_below(1 << 40),
+                };
+                let deadline = cur + delta;
+                wheel.insert(
+                    deadline,
+                    seq,
+                    Waker::from(Arc::new(RecordWake {
+                        seq,
+                        log: Arc::clone(&log),
+                    })),
+                );
+                shadow.insert((deadline, seq));
+                seq += 1;
+            }
+            assert_eq!(
+                wheel.peek(),
+                shadow.first().map(|&(d, _)| d),
+                "seed {seed} round {round}: earliest deadline disagreed"
+            );
+            // Advance to a random horizon and fire everything due, the
+            // way the executor drains a tick group.
+            let horizon = cur + rng.next_below(1 << 20);
+            while wheel.fire_next(horizon, &mut out) {
+                for w in out.drain(..) {
+                    w.wake();
+                }
+            }
+            cur = horizon;
+            let mut fired = log.lock().unwrap();
+            let mut expected = Vec::new();
+            while let Some(&(d, s)) = shadow.first() {
+                if d > horizon {
+                    break;
+                }
+                shadow.remove(&(d, s));
+                expected.push(s);
+            }
+            assert_eq!(
+                *fired, expected,
+                "seed {seed} round {round}: fire order diverged from (deadline, seq)"
+            );
+            fired.clear();
+            assert_eq!(wheel.len(), shadow.len(), "seed {seed} round {round}: len");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Hot-path fixture, violating half: an ordered map sneaking back into a
+//! file named like the executor hot loop. `simlint` must reject this —
+//! the slab refactor (DESIGN.md §11) removed exactly this structure from
+//! the per-poll path, and ci.sh asserts this fixture still fails.
+
+use std::collections::BTreeMap;
+
+pub struct Executor {
+    timers: BTreeMap<u64, usize>,
+}

@@ -23,6 +23,7 @@
 //! | `std-sync` | `std::sync::{Mutex, RwLock, …}`, atomics | host-level blocking invisible to virtual time; use `SimMutex`/`SimRwLock` |
 //! | `unseeded-rng` | RNG constructors without a `seed` parameter | every stochastic component must be replayable from its seed |
 //! | `stats-registration` | stat fields missing from `MetricsRegistry::snapshot` | an unregistered counter escapes measurement windows and silently keeps warmup samples |
+//! | `hot-path` | `BTreeMap` / `BTreeSet` in `executor.rs`, `tlb.rs`, `machine.rs` | ordered maps on the per-poll/per-access/per-page paths cost pointer chases the slab refactor removed (DESIGN.md §11); use `Slab`/`PageMap`/`TimerWheel` |
 //!
 //! All rules except `stats-registration` are per-file token passes.
 //! `stats-registration` is a cross-file pass over the whole scanned set:
@@ -76,6 +77,8 @@ pub enum Rule {
     UnseededRng,
     /// A stat field not captured by `MetricsRegistry::snapshot`.
     StatsRegistration,
+    /// `BTreeMap` / `BTreeSet` in a designated hot-path file.
+    HotPath,
     /// An `allow` directive without a justification.
     BareAllow,
 }
@@ -91,6 +94,7 @@ impl Rule {
             Rule::StdSync => "std-sync",
             Rule::UnseededRng => "unseeded-rng",
             Rule::StatsRegistration => "stats-registration",
+            Rule::HotPath => "hot-path",
             Rule::BareAllow => "bare-allow",
         }
     }
@@ -119,6 +123,9 @@ impl Rule {
             Rule::StatsRegistration => {
                 "stat fields outside MetricsRegistry::snapshot escape measurement windows and keep warmup samples"
             }
+            Rule::HotPath => {
+                "ordered maps on the simulator's hot paths regressed events/sec; use the slab/PageMap/TimerWheel indexes (DESIGN.md §11)"
+            }
             Rule::BareAllow => "simlint allow directives must carry a justification after a colon",
         }
     }
@@ -133,6 +140,7 @@ impl Rule {
             Rule::StdSync,
             Rule::UnseededRng,
             Rule::StatsRegistration,
+            Rule::HotPath,
             Rule::BareAllow,
         ]
     }

@@ -28,6 +28,14 @@ const STATS_STRUCTS: &[&str] = &[
 /// wrapper, e.g. `RefCell<TimeStat>`).
 const STAT_FIELD_TYPES: &[&str] = &["Counter", "TimeStat", "Histogram"];
 
+/// Files on the simulator's measured hot paths (the per-poll executor
+/// loop, the per-access TLB probe, the per-page engine maps), where
+/// ordered maps are banned outright: the slab refactor (DESIGN.md §11)
+/// bought its events/sec there, and a `BTreeMap` creeping back in would
+/// silently give it up. Deliberate exceptions carry a justified
+/// `allow(hot-path)`.
+const HOT_PATH_FILES: &[&str] = &["executor.rs", "tlb.rs", "machine.rs"];
+
 /// Identifiers that imply an external or entropy-seeded RNG.
 const RNG_IDENTS: &[&str] = &[
     "thread_rng",
@@ -48,6 +56,7 @@ pub fn check(file: &Path, lexed: &Lexed) -> Vec<Violation> {
     check_std_paths(toks, &mut found);
     check_idents(toks, &mut found);
     check_unseeded_rng(toks, &mut found);
+    check_hot_path(file, toks, &mut found);
 
     // Apply justified allow directives (same line or the line above the
     // violation), then report bare ones.
@@ -225,6 +234,28 @@ fn check_idents(toks: &[Token], found: &mut Vec<Violation>) {
                 format!("use of external/entropy RNG `{name}`"),
             ),
             _ => {}
+        }
+    }
+}
+
+/// Flags ordered maps in the designated hot-path files (matched by file
+/// name, so the rule follows the file wherever its crate lives).
+fn check_hot_path(file: &Path, toks: &[Token], found: &mut Vec<Violation>) {
+    let hot = file
+        .file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| HOT_PATH_FILES.contains(&n));
+    if !hot {
+        return;
+    }
+    for t in toks {
+        if t.is_ident && (t.text == "BTreeMap" || t.text == "BTreeSet") {
+            violation(
+                found,
+                t.line,
+                Rule::HotPath,
+                format!("use of {} in hot-path file", t.text),
+            );
         }
     }
 }
@@ -603,6 +634,33 @@ mod tests {
         assert_eq!(rules_hit(default_impl), vec![Rule::UnseededRng]);
         // Non-RNG types may have seedless constructors.
         assert!(rules_hit("struct Tlb;\nimpl Tlb { pub fn new() -> Self { Tlb } }").is_empty());
+    }
+
+    #[test]
+    fn hot_path_bans_ordered_maps_by_file_name() {
+        let src = "use std::collections::BTreeMap;\nlet s: BTreeSet<u64> = BTreeSet::new();";
+        for name in ["executor.rs", "tlb.rs", "machine.rs"] {
+            let hits = lint_source(&PathBuf::from(name), src);
+            // One per line: same-line same-rule hits dedup.
+            assert_eq!(hits.len(), 2, "{name}: {hits:#?}");
+            assert!(hits.iter().all(|v| v.rule == Rule::HotPath), "{hits:#?}");
+        }
+        // Same tokens elsewhere are legal (ordered maps are the sanctioned
+        // deterministic collection off the hot paths).
+        assert!(lint_source(&PathBuf::from("policy.rs"), src).is_empty());
+        // Comments and strings never trip the rule.
+        let doc = "// converted from `BTreeMap` by the slab refactor\nlet x = 1;";
+        assert!(lint_source(&PathBuf::from("tlb.rs"), doc).is_empty());
+    }
+
+    #[test]
+    fn hot_path_honors_justified_allow() {
+        let src = "// simlint: allow(hot-path): cold shutdown path, never polled per event\nuse std::collections::BTreeMap;";
+        assert!(lint_source(&PathBuf::from("executor.rs"), src).is_empty());
+        let bare = "use std::collections::BTreeMap; // simlint: allow(hot-path)";
+        let hits = lint_source(&PathBuf::from("executor.rs"), bare);
+        assert!(hits.iter().any(|v| v.rule == Rule::HotPath));
+        assert!(hits.iter().any(|v| v.rule == Rule::BareAllow));
     }
 
     #[test]

@@ -13,7 +13,10 @@ fn fixture(name: &str) -> PathBuf {
 
 #[test]
 fn violation_fixture_trips_every_rule() {
-    let violations = lint_file(&fixture("violations.rs")).expect("fixture readable");
+    // `hot-path` keys on the file name, so it has its own fixture; the
+    // seeded violations file covers every other rule.
+    let mut violations = lint_file(&fixture("violations.rs")).expect("fixture readable");
+    violations.extend(lint_file(&fixture("hotpath/executor.rs")).expect("fixture readable"));
     for &rule in Rule::all() {
         assert!(
             violations.iter().any(|v| v.rule == rule),
@@ -21,6 +24,19 @@ fn violation_fixture_trips_every_rule() {
             rule.name()
         );
     }
+}
+
+/// The hot-path fixture pair: an ordered map in an executor-named file
+/// fails, and the justified `allow(hot-path)` escape hatch passes.
+#[test]
+fn hot_path_fixture_pair() {
+    let bad = lint_file(&fixture("hotpath/executor.rs")).expect("fixture readable");
+    assert!(
+        bad.iter().all(|v| v.rule == Rule::HotPath) && bad.len() == 2,
+        "{bad:#?}"
+    );
+    let ok = lint_file(&fixture("hotpath_ok/machine.rs")).expect("fixture readable");
+    assert!(ok.is_empty(), "unexpected: {ok:#?}");
 }
 
 #[test]

@@ -149,6 +149,9 @@ pub struct RunReport {
     /// Chrome `trace_event` JSON of the run, when
     /// [`RunConfig::capture_trace`] was set.
     pub trace_json: Option<String>,
+    /// Total executor task polls the run performed — the discrete-event
+    /// count behind the wall-clock events/sec figure in `BENCH_*.json`.
+    pub executor_polls: u64,
 }
 
 impl RunReport {
@@ -346,7 +349,7 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
     let window = engine.metrics().window_since(&start);
     let faults_per_thread: Vec<u64> = per_thread.iter().map(|&(f, _, _)| f).collect();
     let phase_switch_ns: Vec<Nanos> = per_thread.iter().map(|&(_, s, _)| s).collect();
-    report_from(
+    let mut report = report_from(
         cfg,
         &window,
         runtime_ns,
@@ -355,7 +358,9 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
         phase_switch_ns,
         timeline,
         tracer.map(|t| t.to_chrome_json()),
-    )
+    );
+    report.executor_polls = sim.polls();
+    report
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -396,6 +401,7 @@ fn report_from(
         aborted_faults: w.aborted_faults,
         requeued_victims: w.requeued_victims,
         trace_json,
+        executor_polls: 0,
     }
 }
 

@@ -34,6 +34,7 @@ fn digest(r: &RunReport) -> Vec<u64> {
         r.transfer_failures,
         r.aborted_faults,
         r.requeued_victims,
+        r.executor_polls,
     ];
     d.extend(r.faults_per_thread.iter().copied());
     d.extend(r.timeline.iter().flat_map(|&(t, v)| [t, v]));

@@ -2,8 +2,9 @@
 //! reported window, and open-loop runs must not censor their tails.
 //!
 //! The bug class under test: `RunReport` used to be computed from
-//! *cumulative* counters after a destructive `EngineStats::reset()` at
-//! the warmup rendezvous. The reset only covered the engine's own
+//! *cumulative* counters after a destructive `EngineStats::reset()`
+//! (since removed) at the warmup rendezvous. The reset only covered the
+//! engine's own
 //! counters — NIC byte counts and IPI/shootdown histograms kept their
 //! warmup samples and were then divided by the post-warmup runtime,
 //! inflating `read_gbps`/`write_gbps` and skewing `shootdown_mean_ns`
