@@ -71,6 +71,16 @@ test -s target/bench_hotloop_smoke.json || {
     exit 1
 }
 
+echo "==> policy-ablation smoke (eviction-policy zoo, quick mode; validates BENCH_policies.json schema)"
+# Quick-mode sweep of the fig17-style policy × workload × local-fraction
+# cube. The committed BENCH_policies.json comes from a full run (see
+# EXPERIMENTS.md "Eviction-policy ablation").
+cargo run -q --release -p mage-bench --bin policies -- --quick --out target/bench_policies_smoke.json >/dev/null
+test -s target/bench_policies_smoke.json || {
+    echo "error: policy ablation smoke did not produce target/bench_policies_smoke.json" >&2
+    exit 1
+}
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -21,8 +21,8 @@
 //! (and clearing) the PTE accessed bit, so this crate stays independent of
 //! the page-table representation.
 
-use std::cell::Cell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, VecDeque};
 
 use mage_sim::stats::Counter;
 use mage_sim::sync::{LockStats, SimMutex};
@@ -105,14 +105,115 @@ pub enum AccountingKind {
     },
 }
 
-struct Lists {
-    inactive: VecDeque<u64>,
-    active: VecDeque<u64>,
-    /// S3-FIFO ghost list: recently evicted pages (bounded).
-    ghost: VecDeque<u64>,
+impl AccountingKind {
+    /// Number of independent partitions this kind maintains.
+    pub fn partitions(&self) -> usize {
+        match *self {
+            AccountingKind::GlobalLru => 1,
+            AccountingKind::PartitionedLru { partitions }
+            | AccountingKind::FifoQueues { partitions }
+            | AccountingKind::Clock { partitions }
+            | AccountingKind::S3Fifo { partitions } => partitions.max(1),
+        }
+    }
 }
 
-const GHOST_CAP: usize = 4_096;
+struct Lists {
+    /// The probationary queue. Under [`AccountingKind::S3Fifo`] this is
+    /// the *small* queue; the LRU designs use it as the inactive list.
+    inactive: VecDeque<u64>,
+    /// The protected queue. Under [`AccountingKind::S3Fifo`] this is the
+    /// *main* queue; the LRU designs use it as the active list.
+    active: VecDeque<u64>,
+}
+
+/// A bounded FIFO of recently evicted pages — the S3-FIFO ghost queue
+/// (SOSP '23), shared by every accounting structure as the engine's
+/// *re-fault detector*: a page that faults back in while still on the
+/// ghost list was evicted too early.
+///
+/// Under [`AccountingKind::S3Fifo`] the ghost additionally drives
+/// placement (a ghost hit admits the page straight to the main queue);
+/// under every other kind it is measurement-only, so the default paths
+/// keep their schedules bit-for-bit (membership updates are synchronous
+/// — no locks, no virtual time).
+///
+/// Contents are mirrored in a `BTreeSet` so membership tests are
+/// `O(log n)`; the queue and the set always hold exactly the same pages.
+#[derive(Debug)]
+pub struct GhostList {
+    cap: usize,
+    queue: VecDeque<u64>,
+    members: BTreeSet<u64>,
+}
+
+impl GhostList {
+    /// The default capacity, matching the historical per-structure bound.
+    pub const DEFAULT_CAP: usize = 4_096;
+
+    /// An empty ghost list bounded at `cap` pages (`0` disables it).
+    pub fn new(cap: usize) -> Self {
+        GhostList {
+            cap,
+            queue: VecDeque::new(),
+            members: BTreeSet::new(),
+        }
+    }
+
+    /// Remembers `vpn` as recently evicted. Re-recording a page refreshes
+    /// its position (it ages from the back of the queue again); the
+    /// oldest entry falls off once the bound is exceeded.
+    pub fn record(&mut self, vpn: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.members.contains(&vpn) {
+            if let Some(pos) = self.queue.iter().position(|&v| v == vpn) {
+                self.queue.remove(pos);
+            }
+        } else {
+            self.members.insert(vpn);
+        }
+        self.queue.push_back(vpn);
+        while self.queue.len() > self.cap {
+            if let Some(old) = self.queue.pop_front() {
+                self.members.remove(&old);
+            }
+        }
+    }
+
+    /// Consumes a ghost hit: removes `vpn` and reports whether it was
+    /// present (i.e. whether this insert is a re-fault).
+    pub fn take(&mut self, vpn: u64) -> bool {
+        if !self.members.remove(&vpn) {
+            return false;
+        }
+        if let Some(pos) = self.queue.iter().position(|&v| v == vpn) {
+            self.queue.remove(pos);
+        }
+        true
+    }
+
+    /// Whether `vpn` is currently remembered.
+    pub fn contains(&self, vpn: u64) -> bool {
+        self.members.contains(&vpn)
+    }
+
+    /// Pages currently remembered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
 
 /// Aggregate accounting statistics.
 #[derive(Default)]
@@ -133,6 +234,9 @@ pub struct PageAccounting {
     kind: AccountingKind,
     costs: AccountingCosts,
     partitions: Vec<SimMutex<Lists>>,
+    /// Engine-wide re-fault detector (see [`GhostList`]). Updated
+    /// synchronously so it never perturbs the event schedule.
+    ghost: RefCell<GhostList>,
     resident: Cell<u64>,
     stats: AccountingStats,
 }
@@ -140,13 +244,7 @@ pub struct PageAccounting {
 impl PageAccounting {
     /// Creates the accounting structure for `kind`.
     pub fn new(sim: SimHandle, kind: AccountingKind, costs: AccountingCosts) -> Self {
-        let n = match kind {
-            AccountingKind::GlobalLru => 1,
-            AccountingKind::PartitionedLru { partitions }
-            | AccountingKind::FifoQueues { partitions }
-            | AccountingKind::Clock { partitions }
-            | AccountingKind::S3Fifo { partitions } => partitions.max(1),
-        };
+        let n = kind.partitions();
         PageAccounting {
             kind,
             costs,
@@ -158,11 +256,11 @@ impl PageAccounting {
                         Lists {
                             inactive: VecDeque::new(),
                             active: VecDeque::new(),
-                            ghost: VecDeque::new(),
                         },
                     )
                 })
                 .collect(),
+            ghost: RefCell::new(GhostList::new(GhostList::DEFAULT_CAP)),
             resident: Cell::new(0),
             stats: AccountingStats::default(),
             sim,
@@ -220,29 +318,32 @@ impl PageAccounting {
         self.resident.set(self.resident.get() + 1);
     }
 
-    /// Records a page as resident on the inactive list (`FP₃`).
+    /// Records a page as resident (`FP₃`) and reports whether the insert
+    /// is a *re-fault* — the page was still on the ghost list of recently
+    /// evicted pages, i.e. it was evicted too early.
     ///
     /// `core` is the CPU of the inserting thread; it selects the target
-    /// partition under the partitioned designs.
-    pub async fn insert(&self, core: usize, vpn: u64) {
+    /// partition under the partitioned designs. The ghost check is
+    /// synchronous and happens for every kind; only
+    /// [`AccountingKind::S3Fifo`] also acts on it (a ghost hit admits the
+    /// page straight to the main queue instead of probation), so the
+    /// other kinds keep their event schedules bit-for-bit.
+    pub async fn insert(&self, core: usize, vpn: u64) -> bool {
+        let ghost_hit = self.ghost.borrow_mut().take(vpn);
         let idx = self.partition_for_insert(core);
         let mut lists = self.partitions[idx].lock().await;
         self.sim.sleep(self.costs.list_op_ns).await;
-        if matches!(self.kind, AccountingKind::S3Fifo { .. }) {
+        if ghost_hit && matches!(self.kind, AccountingKind::S3Fifo { .. }) {
             // Ghost hit: the page was recently evicted and is back —
             // admit it straight to the main queue.
-            if let Some(pos) = lists.ghost.iter().position(|&v| v == vpn) {
-                lists.ghost.remove(pos);
-                lists.active.push_back(vpn);
-            } else {
-                lists.inactive.push_back(vpn); // small/probationary queue
-            }
+            lists.active.push_back(vpn);
         } else {
-            lists.inactive.push_back(vpn);
+            lists.inactive.push_back(vpn); // small/probationary queue
         }
         drop(lists);
         self.resident.set(self.resident.get() + 1);
         self.stats.inserts.inc();
+        ghost_hit
     }
 
     /// Selects up to `want` victim pages for evictor `evictor_id` on its
@@ -321,19 +422,46 @@ impl PageAccounting {
             tried += 1;
         }
         let taken = (out.len() - before) as u64;
-        if matches!(self.kind, AccountingKind::S3Fifo { .. }) && taken > 0 {
-            // Remember evicted pages so a quick refault promotes them.
-            let idx = (evictor_id + round) % n;
-            let mut lists = self.partitions[idx].lock().await;
+        if taken > 0 {
+            // Remember the victims so a quick re-fault is detectable (and,
+            // under S3-FIFO, promoted to the main queue). Synchronous: no
+            // lock, no virtual time, so non-S3-FIFO schedules are
+            // unchanged. Pages evicted without passing through this scan
+            // path (e.g. direct removal) bypass the detector.
+            let mut ghost = self.ghost.borrow_mut();
             for &vpn in &out[before..] {
-                lists.ghost.push_back(vpn);
-            }
-            while lists.ghost.len() > GHOST_CAP {
-                lists.ghost.pop_front();
+                ghost.record(vpn);
             }
         }
         self.resident.set(self.resident.get().saturating_sub(taken));
         self.stats.victims.add(taken);
+    }
+
+    /// Pages currently on the ghost (recently-evicted) list.
+    pub fn ghost_len(&self) -> usize {
+        self.ghost.borrow().len()
+    }
+
+    /// Whether `vpn` is currently on the ghost list.
+    pub fn ghost_contains(&self, vpn: u64) -> bool {
+        self.ghost.borrow().contains(vpn)
+    }
+
+    /// Snapshot of every partition's `(probationary, protected)` queues,
+    /// for tests and debugging only (synchronous; panics if a partition
+    /// lock is held).
+    pub fn queues_snapshot(&self) -> Vec<(Vec<u64>, Vec<u64>)> {
+        self.partitions
+            .iter()
+            .map(|p| {
+                p.with_sync(|lists| {
+                    (
+                        lists.inactive.iter().copied().collect(),
+                        lists.active.iter().copied().collect(),
+                    )
+                })
+            })
+            .collect()
     }
 
     /// Splices up to `want` pages off partition `idx` under its lock,
@@ -554,11 +682,55 @@ mod tests {
             assert_eq!(victims, vec![0, 1]);
             // Page 0 refaults: the ghost hit must admit it to the main
             // (active) queue, so the next probation scan prefers 2 and 3.
-            a.insert(0, 0).await;
+            assert!(a.insert(0, 0).await, "refault must report a ghost hit");
             victims.clear();
             a.take_victims(0, 1, 2, &|_| false, &mut victims).await;
             assert_eq!(victims, vec![2, 3], "ghost-promoted page protected");
         });
+    }
+
+    #[test]
+    fn ghost_detects_refaults_for_every_kind() {
+        // The ghost list is measurement-only outside S3-FIFO, but the
+        // re-fault signal must still fire.
+        let (sim, acc) = rig(AccountingKind::GlobalLru);
+        let a = Rc::clone(&acc);
+        sim.block_on(async move {
+            for vpn in 0..4 {
+                assert!(!a.insert(0, vpn).await, "fresh insert is no re-fault");
+            }
+            let mut victims = Vec::new();
+            a.take_victims(0, 0, 2, &|_| false, &mut victims).await;
+            assert_eq!(victims, vec![0, 1]);
+            assert_eq!(a.ghost_len(), 2);
+            assert!(a.ghost_contains(0) && a.ghost_contains(1));
+            assert!(a.insert(0, 0).await, "refault detected");
+            assert!(!a.ghost_contains(0), "ghost hit is consumed");
+            // Placement is unchanged under non-S3-FIFO kinds: page 0 sits
+            // at the probationary tail, not in the protected queue.
+            let snap = a.queues_snapshot();
+            assert_eq!(snap[0].0, vec![2, 3, 0]);
+            assert!(snap[0].1.is_empty());
+        });
+    }
+
+    #[test]
+    fn ghost_list_is_bounded_and_consistent() {
+        let mut g = GhostList::new(4);
+        for vpn in 0..10 {
+            g.record(vpn);
+        }
+        assert_eq!(g.len(), 4);
+        assert!((6..10).all(|v| g.contains(v)));
+        // Re-recording refreshes the position instead of duplicating.
+        g.record(6);
+        assert_eq!(g.len(), 4);
+        g.record(100);
+        assert!(g.contains(6), "refreshed entry outlives older ones");
+        assert!(!g.contains(7), "oldest entry displaced");
+        assert!(g.take(6));
+        assert!(!g.take(6), "hit consumed");
+        assert_eq!(g.len(), 3);
     }
 
     #[test]

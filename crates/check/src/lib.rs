@@ -26,7 +26,7 @@
 
 use std::rc::Rc;
 
-use mage::{EventSink, FarMemory, MachineParams, RetryPolicy, SystemConfig};
+use mage::{EventSink, EvictionPolicyKind, FarMemory, MachineParams, RetryPolicy, SystemConfig};
 use mage_fabric::FaultPlan;
 use mage_mmu::{CoreId, Topology};
 use mage_sim::rng;
@@ -190,6 +190,10 @@ pub struct CheckOptions {
     pub eviction_batch: usize,
     /// Poll budget per phase; exhausting it is a [`Violation::Runaway`].
     pub max_polls_per_phase: u64,
+    /// Eviction policy the engine runs under. The whole policy zoo must
+    /// uphold the same oracles; sweeping this knob checks each member
+    /// under adversarial schedules, not just the default.
+    pub eviction_policy: EvictionPolicyKind,
     /// Test-only: resurrect the historical settlement double-count bug
     /// (`SystemConfig::with_broken_settlement`) to prove the oracle and
     /// shrinker catch a real defect.
@@ -208,6 +212,7 @@ impl Default for CheckOptions {
             phases: 2,
             eviction_batch: 16,
             max_polls_per_phase: 4_000_000,
+            eviction_policy: EvictionPolicyKind::SecondChance,
             break_settlement: false,
             break_publish: false,
         }
@@ -357,6 +362,7 @@ pub fn run_cell(cell: &Cell, opts: &CheckOptions) -> Result<CellReport, Violatio
         ..RetryPolicy::default()
     };
     let mut cfg = SystemConfig::mage_lib()
+        .with_eviction_policy(opts.eviction_policy)
         .with_eviction_batch(opts.eviction_batch)
         .with_faults(plan)
         .with_retry(retry);

@@ -24,7 +24,7 @@ use mage_sim::SimHandle;
 
 use crate::backend::{DisaggTier, FarBackend, RdmaBackend};
 use crate::costs::{CostModel, OsProfile};
-use crate::reclaim::{AgingClock, EvictionPolicy, Fifo, SecondChance};
+use crate::reclaim::{AgingClock, ApproxLru, EvictionPolicy, Fifo, S3Fifo, SecondChance};
 use crate::retry::RetryPolicy;
 
 /// Remote-slot allocation policy selector.
@@ -49,6 +49,16 @@ pub enum EvictionPolicyKind {
         /// Grace rounds granted per hit (1 behaves like second chance).
         hot_rounds: u8,
     },
+    /// S3-FIFO (SOSP '23): frequency-capped filter at the policy level,
+    /// fed re-fault signals from the accounting ghost list. Selecting
+    /// this kind also switches the accounting structure to
+    /// [`AccountingKind::S3Fifo`] at launch (preserving the configured
+    /// partition count) — the small/main/ghost queues *are* the
+    /// accounting structure, so the two halves ship as a pair.
+    S3Fifo,
+    /// NFU-with-aging LRU approximation: an 8-bit age byte per page,
+    /// shifted each scan. Keeps the configured accounting structure.
+    ApproxLru,
     /// A user-provided policy; `build` is called once at machine launch.
     Custom {
         /// Display name.
@@ -65,6 +75,8 @@ impl EvictionPolicyKind {
             EvictionPolicyKind::SecondChance => Box::new(SecondChance),
             EvictionPolicyKind::Fifo => Box::new(Fifo),
             EvictionPolicyKind::AgingClock { hot_rounds } => Box::new(AgingClock::new(hot_rounds)),
+            EvictionPolicyKind::S3Fifo => Box::new(S3Fifo::default()),
+            EvictionPolicyKind::ApproxLru => Box::new(ApproxLru::default()),
             EvictionPolicyKind::Custom { build, .. } => build(),
         }
     }
@@ -75,6 +87,8 @@ impl EvictionPolicyKind {
             EvictionPolicyKind::SecondChance => "second-chance",
             EvictionPolicyKind::Fifo => "fifo",
             EvictionPolicyKind::AgingClock { .. } => "aging-clock",
+            EvictionPolicyKind::S3Fifo => "s3-fifo",
+            EvictionPolicyKind::ApproxLru => "approx-lru",
             EvictionPolicyKind::Custom { name, .. } => name,
         }
     }

@@ -214,7 +214,13 @@ impl FarMemory {
                         Pte::present(frame).with_accessed(true).with_dirty(true),
                     );
                     self.pt.shadow_unlock(vpn);
-                    self.acct.insert(core.index(), vpn).await;
+                    if self.acct.insert(core.index(), vpn).await {
+                        // Cancelled *and* ghost-listed: the page bounced
+                        // out and back twice in quick succession.
+                        self.stats.re_faults.inc();
+                        self.stats.ghost_hits.inc();
+                        self.policy.note_refault(vpn);
+                    }
                     mage_sim::racecheck!(self.shadow_tlb, atomic vpn);
                     self.ic.tlb(core).fill(vpn);
                     self.wake_page(vpn);
@@ -312,7 +318,14 @@ impl FarMemory {
         self.pt.shadow_unlock(vpn);
         self.emit(PageEvent::Installed { vpn, frame });
         let t_a = self.sim.now();
-        self.acct.insert(core.index(), vpn).await;
+        if self.acct.insert(core.index(), vpn).await {
+            // Ghost hit: this major fault re-fetched a page evicted so
+            // recently it was still on the ghost list — evicting it was a
+            // mistake. Tell the policy so it can protect the page.
+            self.stats.re_faults.inc();
+            self.stats.ghost_hits.inc();
+            self.policy.note_refault(vpn);
+        }
         ctx.acct = Some(PhaseSpan {
             start: t_a,
             dur: self.sim.now().saturating_since(t_a),

@@ -18,7 +18,7 @@ use std::cell::{Cell, RefCell};
 use mage_sim::slab::PageMap;
 use std::rc::{Rc, Weak};
 
-use mage_accounting::PageAccounting;
+use mage_accounting::{AccountingKind, PageAccounting};
 use mage_fabric::{MemoryNode, Nic};
 use mage_mmu::{
     AddressSpace, CoreId, InterruptController, PageTable, Pte, Tlb, Topology, Vma, PAGE_SIZE,
@@ -31,7 +31,7 @@ use mage_sim::trace::Tracer;
 use mage_sim::SimHandle;
 
 use crate::backend::FarBackend;
-use crate::config::SystemConfig;
+use crate::config::{EvictionPolicyKind, SystemConfig};
 use crate::events::{EventSink, EventTap, PageEvent};
 use crate::metrics::MetricsRegistry;
 use crate::prefetch::StreamDetector;
@@ -157,11 +157,23 @@ pub struct FarMemory {
 impl FarMemory {
     /// Builds the machine and launches the eviction threads.
     pub fn launch(sim: SimHandle, cfg: SystemConfig, params: MachineParams) -> Rc<Self> {
+        let mut cfg = cfg;
         let topo = params.topo;
         assert!(
             params.app_threads <= topo.total_cores() as usize,
             "more app threads than cores"
         );
+        // The S3-FIFO policy is one half of a pair: its small/main/ghost
+        // queue structure lives in the accounting crate, so selecting the
+        // policy also selects the matching accounting kind (preserving
+        // whatever partition count the preset configured).
+        if matches!(cfg.eviction_policy, EvictionPolicyKind::S3Fifo)
+            && !matches!(cfg.accounting, AccountingKind::S3Fifo { .. })
+        {
+            cfg.accounting = AccountingKind::S3Fifo {
+                partitions: cfg.accounting.partitions(),
+            };
+        }
         let backend = cfg.backend.build(sim.clone(), &cfg, params.remote_pages);
         let policy = cfg.eviction_policy.build();
         let tlbs: Vec<Rc<Tlb>> = (0..topo.total_cores())

@@ -65,6 +65,8 @@ pub struct MetricsSnapshot {
     transfer_failures: CounterSnapshot,
     aborted_faults: CounterSnapshot,
     requeued_victims: CounterSnapshot,
+    re_faults: CounterSnapshot,
+    ghost_hits: CounterSnapshot,
     fault_latency: HistogramSnapshot,
     retry_latency: HistogramSnapshot,
     breakdown_rdma: TimeStatSnapshot,
@@ -137,6 +139,12 @@ pub struct MetricsWindow {
     pub aborted_faults: u64,
     /// Requeued eviction victims in the window.
     pub requeued_victims: u64,
+    /// Major faults that hit the ghost list in the window (pages evicted
+    /// too early — the re-fault-rate numerator).
+    pub re_faults: u64,
+    /// All ghost-list hits in the window (re-faults plus eviction cancels
+    /// and requeues).
+    pub ghost_hits: u64,
     /// Fault-latency distribution over the window.
     pub fault_latency: HistogramDelta,
     /// Retry-recovery latency distribution over the window.
@@ -240,6 +248,8 @@ impl MetricsRegistry<'_> {
             transfer_failures: e.transfer_failures.snapshot(),
             aborted_faults: e.aborted_faults.snapshot(),
             requeued_victims: e.requeued_victims.snapshot(),
+            re_faults: e.re_faults.snapshot(),
+            ghost_hits: e.ghost_hits.snapshot(),
             fault_latency: e.fault_latency.snapshot(),
             retry_latency: e.retry_latency.snapshot(),
             breakdown_rdma: b.rdma.borrow().snapshot(),
@@ -290,6 +300,8 @@ impl MetricsRegistry<'_> {
             transfer_failures: e.transfer_failures.delta(&start.transfer_failures),
             aborted_faults: e.aborted_faults.delta(&start.aborted_faults),
             requeued_victims: e.requeued_victims.delta(&start.requeued_victims),
+            re_faults: e.re_faults.delta(&start.re_faults),
+            ghost_hits: e.ghost_hits.delta(&start.ghost_hits),
             fault_latency: e.fault_latency.delta(&start.fault_latency),
             retry_latency: e.retry_latency.delta(&start.retry_latency),
             breakdown_rdma: b.rdma.borrow().delta(&start.breakdown_rdma),

@@ -251,7 +251,11 @@ impl FarMemory {
             Pte::present(page.frame).with_accessed(true).with_dirty(true),
         );
         self.pt.shadow_unlock(page.vpn);
-        self.acct.insert(core.index(), page.vpn).await;
+        if self.acct.insert(core.index(), page.vpn).await {
+            // Not a fault — the victim came straight back because its
+            // writeback failed — so only the ghost-hit counter moves.
+            self.stats.ghost_hits.inc();
+        }
         self.wake_page(page.vpn);
         self.backend.release_slot(rpn).await;
         self.stats.requeued_victims.inc();

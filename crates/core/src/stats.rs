@@ -121,6 +121,13 @@ pub struct EngineStats {
     pub requeued_victims: Counter,
     /// First failure → eventual success latency of recovered transfers, ns.
     pub retry_latency: Histogram,
+    /// Major faults whose page still sat on the accounting ghost list of
+    /// recently evicted pages — i.e. pages evicted too early. The
+    /// numerator of the ablation sweep's re-fault rate.
+    pub re_faults: Counter,
+    /// All residency inserts that hit the ghost list, including eviction
+    /// cancels and requeued victims (a superset of `re_faults`).
+    pub ghost_hits: Counter,
 }
 
 impl EngineStats {

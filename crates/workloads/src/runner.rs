@@ -146,6 +146,12 @@ pub struct RunReport {
     pub aborted_faults: u64,
     /// Eviction victims re-inserted after a failed writeback.
     pub requeued_victims: u64,
+    /// Major faults whose page was still on the accounting ghost list —
+    /// pages the eviction policy gave up on too early. The numerator of
+    /// [`RunReport::re_fault_rate`].
+    pub re_faults: u64,
+    /// All ghost-list hits (re-faults plus eviction cancels/requeues).
+    pub ghost_hits: u64,
     /// Chrome `trace_event` JSON of the run, when
     /// [`RunConfig::capture_trace`] was set.
     pub trace_json: Option<String>,
@@ -161,6 +167,15 @@ impl RunReport {
             return 0.0;
         }
         self.total_ops as f64 * 1e3 / self.runtime_ns as f64
+    }
+
+    /// Fraction of major faults that re-fetched a recently evicted page
+    /// (lower is better — the policy-ablation figure of merit).
+    pub fn re_fault_rate(&self) -> f64 {
+        if self.major_faults == 0 {
+            return 0.0;
+        }
+        self.re_faults as f64 / self.major_faults as f64
     }
 
     /// Major-fault throughput in M faults/s.
@@ -400,6 +415,8 @@ fn report_from(
         transfer_failures: w.transfer_failures,
         aborted_faults: w.aborted_faults,
         requeued_victims: w.requeued_victims,
+        re_faults: w.re_faults,
+        ghost_hits: w.ghost_hits,
         trace_json,
         executor_polls: 0,
     }

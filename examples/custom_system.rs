@@ -45,25 +45,37 @@ fn main() {
         .with_eviction_policy(EvictionPolicyKind::AgingClock { hot_rounds: 3 });
     aging.name = "+AgingClock";
 
+    // Policy-zoo swap: S3-FIFO pairs the scan probe with ghost-feedback
+    // accounting (small/main queues + bounded ghost list, DESIGN.md §12)
+    // so pages re-faulted shortly after eviction skip probation.
+    let mut s3fifo = multilayer
+        .clone()
+        .with_eviction_policy(EvictionPolicyKind::S3Fifo);
+    s3fifo.name = "+S3-FIFO";
+
     println!("Technique ablation, random access, {threads} threads, 30% offloaded\n");
     println!(
-        "{:<14} {:>10} {:>12} {:>14}",
-        "system", "M ops/s", "p99 fault", "sync evicts"
+        "{:<14} {:>10} {:>12} {:>14} {:>10}",
+        "system", "M ops/s", "p99 fault", "sync evicts", "re-faults"
     );
-    for system in [baseline, pipelined, partitioned, multilayer, aging] {
+    for system in [baseline, pipelined, partitioned, multilayer, aging, s3fifo] {
         let name = system.name;
         let mut cfg = RunConfig::new(system, WorkloadKind::RandomGraph, threads, wss, 0.7);
         cfg.ops_per_thread = 6_000;
         let r = run_batch(&cfg);
         println!(
-            "{:<14} {:>10.2} {:>9.1} us {:>14}",
+            "{:<14} {:>10.2} {:>9.1} us {:>14} {:>10}",
             name,
             r.mops(),
             r.fault_p99_ns as f64 / 1_000.0,
-            r.sync_evictions
+            r.sync_evictions,
+            r.re_faults
         );
     }
     println!("\nEach row adds one technique; the paper's Fig. 17 reports the same");
     println!("progression (pipelining buys the most, the two contention-avoidance");
-    println!("techniques compound on top).");
+    println!("techniques compound on top). Re-faults count evictions the policy");
+    println!("got wrong (a second major fault paid for the same page); the full");
+    println!("policy x workload x local-fraction cube where S3-FIFO earns its");
+    println!("keep is BENCH_policies.json (cargo run -p mage-bench --bin policies).");
 }

@@ -47,10 +47,10 @@ pub use mage_workloads as workloads;
 /// The most common imports for running experiments.
 pub mod prelude {
     pub use mage::{
-        Access, AgingClock, BackendKind, CostModel, DisaggTier, EvictionPolicy,
+        Access, AgingClock, ApproxLru, BackendKind, CostModel, DisaggTier, EvictionPolicy,
         EvictionPolicyKind, FarBackend, FarMemory, FaultError, Fifo, IdealModel, MachineParams,
         MetricsRegistry, MetricsSnapshot, MetricsWindow, OsProfile, PrefetchPolicy, RdmaBackend,
-        RetryPolicy, SecondChance, SystemConfig, TransferOp,
+        RetryPolicy, S3Fifo, SecondChance, SystemConfig, TransferOp,
     };
     pub use mage_fabric::{FaultPlan, TransferError};
     pub use mage_mmu::{CoreId, Topology};

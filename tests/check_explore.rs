@@ -50,6 +50,40 @@ fn explores_64_seeded_schedules_with_zero_violations() {
     }
 }
 
+/// The same acceptance sweep under the S3-FIFO eviction policy: the new
+/// ghost-feedback machinery (synchronous ghost updates on the fault
+/// path, ghost-hit promotion into the main queue) must uphold every
+/// oracle — reference model, whole-machine invariants and the simsan
+/// race detector — across 64 seeded schedules, including SeededRandom
+/// and PriorityFuzz interleavings.
+#[test]
+fn s3fifo_survives_64_seeded_schedules_with_zero_violations() {
+    let cells = Cell::sweep(64, 2);
+    let opts = CheckOptions {
+        eviction_policy: EvictionPolicyKind::S3Fifo,
+        ..CheckOptions::default()
+    };
+    match explore(&cells, &opts, 16) {
+        ExploreOutcome::Clean {
+            cells,
+            polls,
+            major_faults,
+        } => {
+            assert_eq!(cells, 64);
+            assert!(polls > 0);
+            assert!(
+                major_faults > 10_000,
+                "the sweep must exercise heavy paging, got {major_faults} faults"
+            );
+        }
+        ExploreOutcome::Failed { original, shrunk } => panic!(
+            "S3-FIFO cell {original:?} violates '{}'; minimal repro:\n{}",
+            shrunk.violation,
+            shrunk.cell.repro_line()
+        ),
+    }
+}
+
 /// A deliberately broken invariant (the historical finalize-batch
 /// double-count, resurrected by the test-only config toggle) is caught,
 /// shrunk across every dimension, and reported as a one-line repro.

@@ -4,7 +4,7 @@
 //! whole evaluation rests on (and the one simlint + the deterministic
 //! executor exist to protect).
 
-use mage::{PrefetchPolicy, RetryPolicy, SystemConfig};
+use mage::{EvictionPolicyKind, PrefetchPolicy, RetryPolicy, SystemConfig};
 use mage_fabric::FaultPlan;
 use mage_workloads::runner::{run_batch, RunConfig, RunReport};
 use mage_workloads::WorkloadKind;
@@ -34,6 +34,8 @@ fn digest(r: &RunReport) -> Vec<u64> {
         r.transfer_failures,
         r.aborted_faults,
         r.requeued_victims,
+        r.re_faults,
+        r.ghost_hits,
         r.executor_polls,
     ];
     d.extend(r.faults_per_thread.iter().copied());
@@ -141,6 +143,49 @@ fn different_fault_seeds_diverge() {
     let a = faulty_sweep(0xFA417);
     let b = faulty_sweep(0xFA418);
     assert_ne!(a, b, "different fault seeds must perturb the statistics");
+}
+
+#[test]
+fn every_eviction_policy_is_bit_deterministic() {
+    // The policy zoo must uphold the same-seed contract: per policy,
+    // two runs agree bit-for-bit, and policies genuinely diverge from
+    // one another on a workload with eviction pressure.
+    let zoo = [
+        EvictionPolicyKind::SecondChance,
+        EvictionPolicyKind::Fifo,
+        EvictionPolicyKind::AgingClock { hot_rounds: 3 },
+        EvictionPolicyKind::S3Fifo,
+        EvictionPolicyKind::ApproxLru,
+    ];
+    let run = |kind: EvictionPolicyKind, seed: u64| {
+        let system = SystemConfig::mage_lib().with_eviction_policy(kind);
+        let mut cfg = RunConfig::new(system, WorkloadKind::Gups, 4, 4096, 0.5);
+        cfg.ops_per_thread = 1500;
+        cfg.seed = seed;
+        digest(&run_batch(&cfg))
+    };
+    let mut digests = Vec::new();
+    for kind in zoo {
+        let a = run(kind, 11);
+        let b = run(kind, 11);
+        assert_eq!(a, b, "{}: same seed must be bit-identical", kind.name());
+        assert_ne!(
+            a,
+            run(kind, 12),
+            "{}: different seeds must perturb the statistics",
+            kind.name()
+        );
+        digests.push((kind.name(), a));
+    }
+    for (i, (name_a, da)) in digests.iter().enumerate() {
+        for (name_b, db) in digests.iter().skip(i + 1) {
+            assert_ne!(
+                da, db,
+                "{name_a} and {name_b} produced identical digests — the \
+                 policy knob is not reaching the engine"
+            );
+        }
+    }
 }
 
 #[test]

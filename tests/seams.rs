@@ -77,6 +77,8 @@ fn every_policy_preserves_invariants() {
         EvictionPolicyKind::SecondChance,
         EvictionPolicyKind::Fifo,
         EvictionPolicyKind::AgingClock { hot_rounds: 3 },
+        EvictionPolicyKind::S3Fifo,
+        EvictionPolicyKind::ApproxLru,
     ];
     for kind in policies {
         let system = SystemConfig::mage_lib().with_eviction_policy(kind);
@@ -91,6 +93,29 @@ fn every_policy_preserves_invariants() {
             kind.name()
         );
     }
+}
+
+/// Selecting the S3-FIFO policy must also install the matching
+/// small/main/ghost accounting structure, preserving the preset's
+/// partition count; other policies leave the accounting untouched.
+#[test]
+fn s3fifo_policy_pairs_with_s3fifo_accounting() {
+    let system = SystemConfig::mage_lib().with_eviction_policy(EvictionPolicyKind::S3Fifo);
+    let (_sim, engine, _vma) = launch(system, 21);
+    assert_eq!(engine.eviction_policy().name(), "s3-fifo");
+    assert_eq!(
+        engine.accounting().kind(),
+        mage_far_memory::accounting::AccountingKind::S3Fifo { partitions: 8 },
+        "policy selection must switch the accounting structure"
+    );
+
+    let plain = SystemConfig::mage_lib().with_eviction_policy(EvictionPolicyKind::ApproxLru);
+    let (_sim2, engine2, _vma2) = launch(plain, 21);
+    assert_eq!(
+        engine2.accounting().kind(),
+        mage_far_memory::accounting::AccountingKind::PartitionedLru { partitions: 8 },
+        "non-S3-FIFO policies keep the preset accounting"
+    );
 }
 
 /// Same seed, same accesses: a policy swap changes *which* pages are
@@ -267,6 +292,14 @@ fn zero_fault_path_matches_pre_fault_layer_golden_values() {
     assert_eq!(ra.transfer_failures + rb.transfer_failures, 0);
     assert_eq!(ra.aborted_faults + rb.aborted_faults, 0);
     assert_eq!(ra.requeued_victims + rb.requeued_victims, 0);
+
+    // The ghost-feedback counters are measurement-only on the default
+    // path: they must flow into the report (hermit/Gups cancels 101
+    // evictions, each a ghost hit) without having moved the pinned
+    // schedules above.
+    assert!(rb.re_faults > 0, "hermit/Gups churn must observe re-faults");
+    assert!(ra.ghost_hits >= ra.re_faults, "re-faults are ghost hits");
+    assert!(rb.ghost_hits >= rb.re_faults, "re-faults are ghost hits");
 }
 
 /// A user-supplied policy plugs in through `EvictionPolicyKind::Custom`.
