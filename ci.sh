@@ -25,6 +25,17 @@ cargo test -q --test simsan
 echo "==> chaos + seams under the race detector (MAGE_SIMSAN=1)"
 MAGE_SIMSAN=1 cargo test -q --test chaos --test seams
 
+echo "==> replication chaos (node-kill sweep + replica fuzz + failover determinism, DESIGN.md §13)"
+cargo test -q --test chaos node_kill_sweep_loses_nothing_with_replication
+cargo test -q -p mage --test replica_fuzz
+MAGE_SIMSAN=1 cargo test -q --test determinism replicated_sweep
+
+echo "==> replication oracle self-check (the planted bug must trip mage-check)"
+# Mirrors the simlint fixture pattern: the skipped-backup-repair bug
+# (break_rereplication) must be caught by the replica-coverage invariant
+# and shrunk to a one-line repro; the test fails if the oracle misses it.
+cargo test -q --test check_explore broken_rereplication_is_caught_and_shrunk
+
 echo "==> cargo build --examples"
 cargo build --examples
 

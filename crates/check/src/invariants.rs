@@ -141,6 +141,50 @@ fn frame_conservation(ctx: &CheckCtx) -> Option<Violation> {
     None
 }
 
+/// Replica coverage (replicated backends): a settled remote page must
+/// keep at least one replica that is `Synced` or actively `Rebuilding` —
+/// all-`Degraded` means the page's data survives on no node, which a
+/// correct repair loop makes impossible as long as node outages never
+/// overlap. Pages the backend does not track (or unreplicated backends,
+/// where `replica_states` is `None` everywhere) are skipped.
+pub fn replica_coverage(ctx: &CheckCtx) -> Option<Violation> {
+    use mage::ReplicaState;
+    let backend = ctx.engine.backend();
+    for i in 0..ctx.vma.pages {
+        let vpn = ctx.vma.start_vpn + i;
+        let pte = ctx.engine.page_table().get(vpn);
+        if !pte.is_remote() || pte.locked() {
+            continue;
+        }
+        let rpn = pte.payload();
+        if let Some(states) = backend.replica_states(rpn) {
+            let alive = states
+                .iter()
+                .any(|s| matches!(s, ReplicaState::Synced | ReplicaState::Rebuilding));
+            if !alive {
+                return Some(Violation::ReplicaUnreachable { vpn, rpn });
+            }
+        }
+    }
+    None
+}
+
+/// Replica states only ever move along the legal
+/// Synced↔Degraded→Rebuilding→Synced machine; the backend counts every
+/// violation at the single funnel all state writes pass through.
+pub fn replica_transitions(ctx: &CheckCtx) -> Option<Violation> {
+    let count = ctx
+        .engine
+        .backend()
+        .replication_stats()
+        .map(|s| s.illegal_transitions.get())
+        .unwrap_or(0);
+    if count > 0 {
+        return Some(Violation::ReplicaTransition { count });
+    }
+    None
+}
+
 /// Every page of the region is resident or remotely reachable.
 fn no_lost_page(ctx: &CheckCtx) -> Option<Violation> {
     for i in 0..ctx.vma.pages {

@@ -26,7 +26,10 @@
 
 use std::rc::Rc;
 
-use mage::{EventSink, EvictionPolicyKind, FarMemory, MachineParams, RetryPolicy, SystemConfig};
+use mage::{
+    EventSink, EvictionPolicyKind, FarMemory, MachineParams, ReplicationConfig, RetryPolicy,
+    SystemConfig,
+};
 use mage_fabric::FaultPlan;
 use mage_mmu::{CoreId, Topology};
 use mage_sim::rng;
@@ -202,6 +205,15 @@ pub struct CheckOptions {
     /// (`SystemConfig::with_broken_publish`) to prove the simsan race
     /// oracle catches an ordering defect no functional check can see.
     pub break_publish: bool,
+    /// Run every cell on a [`ReplicatedBackend`](mage::ReplicatedBackend)
+    /// over two memory nodes with staggered per-node crash windows, and
+    /// register the replica-state invariants.
+    pub replicate: bool,
+    /// Test-only: plant the skipped-backup-repair bug
+    /// (`SystemConfig::with_broken_rereplication`) to prove the
+    /// replica-coverage invariant catches a node-kill data-loss defect.
+    /// Implies nothing unless `replicate` is set.
+    pub break_rereplication: bool,
 }
 
 impl Default for CheckOptions {
@@ -215,6 +227,8 @@ impl Default for CheckOptions {
             eviction_policy: EvictionPolicyKind::SecondChance,
             break_settlement: false,
             break_publish: false,
+            replicate: false,
+            break_rereplication: false,
         }
     }
 }
@@ -296,6 +310,20 @@ pub enum Violation {
         /// The fully rendered race report (both sites, tasks, clocks).
         report: String,
     },
+    /// A settled remote page has no live replica left: every slot is
+    /// `Degraded`, so the page's data survives on no reachable node.
+    ReplicaUnreachable {
+        /// The page whose remote copies are all gone.
+        vpn: u64,
+        /// Its backend slot.
+        rpn: u64,
+    },
+    /// Replica states moved outside the legal
+    /// Synced↔Degraded→Rebuilding→Synced machine.
+    ReplicaTransition {
+        /// Illegal transitions recorded by the backend.
+        count: u64,
+    },
 }
 
 impl Violation {
@@ -310,6 +338,8 @@ impl Violation {
             Violation::ModelMismatch { .. } => "model-mismatch",
             Violation::Runaway { .. } => "runaway",
             Violation::DataRace { .. } => "data-race",
+            Violation::ReplicaUnreachable { .. } => "replica-unreachable",
+            Violation::ReplicaTransition { .. } => "replica-transition",
         }
     }
 }
@@ -346,6 +376,13 @@ impl std::fmt::Display for Violation {
                 write!(f, "runaway schedule: poll budget exhausted after {polls} polls")
             }
             Violation::DataRace { report } => write!(f, "{report}"),
+            Violation::ReplicaUnreachable { vpn, rpn } => write!(
+                f,
+                "replica coverage lost: vpn {vpn:#x} (slot {rpn}) has no synced or rebuilding replica"
+            ),
+            Violation::ReplicaTransition { count } => {
+                write!(f, "replica state machine violated {count} time(s)")
+            }
         }
     }
 }
@@ -372,6 +409,23 @@ pub fn run_cell(cell: &Cell, opts: &CheckOptions) -> Result<CellReport, Violatio
     if opts.break_publish {
         cfg = cfg.with_broken_publish();
     }
+    if opts.replicate {
+        // Two nodes with provably disjoint 30 µs crash windows per 150 µs
+        // period; the repair poll sits well under both the window and the
+        // inter-outage gap, so the monitor always observes each crash and
+        // finishes repairs before the *other* node blinks.
+        let nodes = 2;
+        let node_plans = (0..nodes)
+            .map(|i| FaultPlan::staggered_node_crash(cell.seed, i, nodes, 150_000, 30_000))
+            .collect();
+        cfg = cfg.with_node_faults(node_plans).with_replication(ReplicationConfig {
+            nodes,
+            repair_poll_ns: 5_000,
+        });
+        if opts.break_rereplication {
+            cfg = cfg.with_broken_rereplication();
+        }
+    }
     let cores = (cell.threads + cfg.max_evictors) as u32;
 
     let sim = Simulation::with_policy(cell.exploration_policy());
@@ -397,7 +451,13 @@ pub fn run_cell(cell: &Cell, opts: &CheckOptions) -> Result<CellReport, Violatio
     engine.tap_events(Rc::clone(&refmodel) as Rc<dyn EventSink>);
     engine.populate(&vma);
 
-    let registry = InvariantRegistry::standard();
+    let mut registry = InvariantRegistry::standard();
+    if opts.replicate {
+        // Registered per-run (not in `standard()`): these only mean
+        // something on a replicated backend.
+        registry.register("replica-unreachable", invariants::replica_coverage);
+        registry.register("replica-transition", invariants::replica_transitions);
+    }
     for phase in 0..opts.phases {
         let mut joins = Vec::new();
         for t in 0..cell.threads {
@@ -589,6 +649,28 @@ mod tests {
         };
         let err = run_cell(&Cell::default(), &opts).unwrap_err();
         assert_eq!(err.name(), "settlement", "got {err}");
+    }
+
+    #[test]
+    fn replicated_cell_runs_clean() {
+        let opts = CheckOptions {
+            replicate: true,
+            ..quick_opts()
+        };
+        let report = run_cell(&Cell::default(), &opts).expect("replicated cell must pass");
+        assert!(report.major_faults > 0, "the cell must exercise faults");
+    }
+
+    #[test]
+    fn broken_rereplication_is_caught() {
+        let opts = CheckOptions {
+            replicate: true,
+            break_rereplication: true,
+            phases: 2,
+            ..quick_opts()
+        };
+        let err = run_cell(&Cell::default(), &opts).unwrap_err();
+        assert_eq!(err.name(), "replica-unreachable", "got {err}");
     }
 
     #[test]

@@ -24,13 +24,16 @@
 //! file implementing this trait plus a `BackendKind::Custom` constructor —
 //! no engine edits.
 
+use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 
-use mage_fabric::{Completion, MemoryNode, Nic, NicConfig};
+use mage_fabric::{Completion, MemoryNode, Nic, NicConfig, NodeId};
 use mage_mmu::PAGE_SIZE;
 use mage_palloc::{RemoteAllocator, SwapBitmap};
+use mage_sim::stats::Counter;
+use mage_sim::time::Nanos;
 use mage_sim::SimHandle;
 
 use crate::config::{RemoteAllocKind, SystemConfig};
@@ -75,6 +78,125 @@ pub trait FarBackend {
 
     /// The passive node's capacity bookkeeping.
     fn node(&self) -> &MemoryNode;
+
+    /// Posts a read of `bytes` for the page stored in slot `rpn`.
+    /// Replication-aware backends route the read to a node holding a
+    /// synced replica; plain backends ignore the slot and behave exactly
+    /// like [`FarBackend::read_page`].
+    fn read_page_at(&self, rpn: u64, bytes: u64) -> Completion {
+        let _ = rpn;
+        self.read_page(bytes)
+    }
+
+    /// Posts a write of `bytes` for the page stored in slot `rpn`.
+    /// Replication-aware backends mirror the write to every replica;
+    /// plain backends ignore the slot.
+    fn write_page_at(&self, rpn: u64, bytes: u64) -> Completion {
+        let _ = rpn;
+        self.write_page(bytes)
+    }
+
+    /// After a node-unreachable read failure on slot `rpn`, posts one
+    /// read to an alternate synced, reachable replica if the backend has
+    /// one. `None` (the default, and the only answer for unreplicated
+    /// backends) sends the caller down the ordinary retry path.
+    fn failover_read(&self, rpn: u64, bytes: u64) -> Option<Completion> {
+        let _ = (rpn, bytes);
+        None
+    }
+
+    /// Replica states of slot `rpn` in slot order (primary first), if the
+    /// backend replicates and tracks that slot.
+    fn replica_states(&self, rpn: u64) -> Option<[ReplicaState; 2]> {
+        let _ = rpn;
+        None
+    }
+
+    /// Replication counters, if the backend replicates.
+    fn replication_stats(&self) -> Option<&ReplicationStats> {
+        None
+    }
+
+    /// Number of tracked slots currently carrying at least one degraded
+    /// replica (always 0 for unreplicated backends).
+    fn degraded_pages(&self) -> u64 {
+        0
+    }
+
+    /// Stops background tasks (the re-replication monitor); called once
+    /// from engine shutdown. A no-op for backends without such tasks.
+    fn shutdown(&self) {}
+}
+
+/// State of one replica of one remote page.
+///
+/// The legal machine is `Synced ↔ Degraded → Rebuilding → Synced` (plus
+/// `Rebuilding → Degraded` when a repair write fails): a replica degrades
+/// when its home node crashes or a mirrored write to it fails, enters
+/// `Rebuilding` while a background repair copy is in flight, and returns
+/// to `Synced` when the copy lands (or directly, when a fresh mirrored
+/// writeback supersedes the stale copy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// The replica holds the current page contents.
+    Synced,
+    /// The replica is stale or lost (node crash / failed mirror write).
+    Degraded,
+    /// A background repair copy to this replica is in flight.
+    Rebuilding,
+}
+
+impl ReplicaState {
+    /// Whether moving `from → to` follows the legal machine. Same-state
+    /// writes are treated as no-ops by the table and never get here.
+    pub fn legal_transition(from: ReplicaState, to: ReplicaState) -> bool {
+        use ReplicaState::*;
+        matches!(
+            (from, to),
+            (Synced, Degraded)
+                | (Degraded, Synced)
+                | (Degraded, Rebuilding)
+                | (Rebuilding, Synced)
+                | (Rebuilding, Degraded)
+        )
+    }
+}
+
+/// Counters of the replication layer (owned by the backend, surfaced via
+/// [`FarBackend::replication_stats`]).
+#[derive(Default)]
+pub struct ReplicationStats {
+    /// Replicas rebuilt by the background repair task.
+    pub rereplicated_pages: Counter,
+    /// Synced/Rebuilding → Degraded transitions (crash marks and failed
+    /// mirror writes).
+    pub degraded_marks: Counter,
+    /// Replica-state writes that violated the legal machine (always 0 for
+    /// a correct engine; the mage-check oracle reads this).
+    pub illegal_transitions: Counter,
+}
+
+/// How remote pages are replicated across simulated memory nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicationConfig {
+    /// Number of memory nodes replicas spread across (clamped to ≥ 2).
+    /// Each page keeps two replicas: the primary on node `rpn % nodes`,
+    /// the backup on the next node.
+    pub nodes: usize,
+    /// Poll interval of the crash monitor / background repair task, ns.
+    /// Must be at most the shortest configured outage window, or an
+    /// outage could fall entirely between two polls and never degrade
+    /// the replicas it wiped.
+    pub repair_poll_ns: Nanos,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig {
+            nodes: 2,
+            repair_poll_ns: 10_000,
+        }
+    }
 }
 
 /// The paper's testbed backend: one-sided RDMA verbs to a single passive
@@ -100,7 +222,12 @@ impl RdmaBackend {
             ))),
         };
         RdmaBackend {
-            nic: Rc::new(Nic::with_faults(sim, cfg.nic.clone(), cfg.faults.clone())),
+            nic: Rc::new(Nic::with_node_faults(
+                sim,
+                cfg.nic.clone(),
+                cfg.faults.clone(),
+                cfg.node_faults.clone(),
+            )),
             node: MemoryNode::new(remote_pages * PAGE_SIZE),
             slots,
         }
@@ -176,7 +303,12 @@ impl DisaggTier {
             ..cfg.nic.clone()
         };
         DisaggTier {
-            nic: Rc::new(Nic::with_faults(sim.clone(), link, cfg.faults.clone())),
+            nic: Rc::new(Nic::with_node_faults(
+                sim.clone(),
+                link,
+                cfg.faults.clone(),
+                cfg.node_faults.clone(),
+            )),
             node: MemoryNode::new(remote_pages * PAGE_SIZE),
             // Pool-side slot table: cheap (the tier's controller owns it),
             // but a real allocation nonetheless.
@@ -220,6 +352,362 @@ impl FarBackend for DisaggTier {
 
     fn node(&self) -> &MemoryNode {
         &self.node
+    }
+}
+
+/// Shared replica bookkeeping of [`ReplicatedBackend`]: a slot-indexed
+/// table (slab, not an ordered map — `rpn` is dense) of per-replica
+/// states plus the replication counters.
+struct ReplicaTable {
+    nodes: u32,
+    states: RefCell<Vec<Option<[ReplicaState; 2]>>>,
+    stats: ReplicationStats,
+    stop: Cell<bool>,
+    break_rereplication: bool,
+}
+
+impl ReplicaTable {
+    /// Home node of replica `slot` of page `rpn`: primaries spread across
+    /// all nodes, the backup lives on the next node over, so every node
+    /// carries both roles and a single outage degrades both kinds.
+    fn home(&self, rpn: u64, slot: usize) -> NodeId {
+        NodeId(((rpn + slot as u64) % self.nodes as u64) as u32)
+    }
+
+    fn get(&self, rpn: u64) -> Option<[ReplicaState; 2]> {
+        self.states.borrow().get(rpn as usize).copied().flatten()
+    }
+
+    /// Starts tracking `rpn` with `init` states; keeps existing states if
+    /// the slot is already tracked (direct-mapped backends reuse the same
+    /// slot across evict/fault cycles and its remote copies stay valid).
+    fn track(&self, rpn: u64, init: [ReplicaState; 2]) {
+        let mut states = self.states.borrow_mut();
+        let idx = rpn as usize;
+        if idx >= states.len() {
+            states.resize(idx + 1, None);
+        }
+        if states[idx].is_none() {
+            states[idx] = Some(init);
+        }
+    }
+
+    fn untrack(&self, rpn: u64) {
+        if let Some(entry) = self.states.borrow_mut().get_mut(rpn as usize) {
+            *entry = None;
+        }
+    }
+
+    /// Legality-checked state write; same-state writes are no-ops. All
+    /// replica-state movement funnels through here, so the mage-check
+    /// oracle can read `illegal_transitions` as "the machine was obeyed".
+    fn set(&self, rpn: u64, slot: usize, to: ReplicaState) {
+        let mut states = self.states.borrow_mut();
+        let Some(Some(entry)) = states.get_mut(rpn as usize) else {
+            return;
+        };
+        let from = entry[slot];
+        if from == to {
+            return;
+        }
+        if !ReplicaState::legal_transition(from, to) {
+            self.stats.illegal_transitions.inc();
+        }
+        if to == ReplicaState::Degraded {
+            self.stats.degraded_marks.inc();
+        }
+        entry[slot] = to;
+    }
+
+    /// Guarded state write: moves `slot` to `to` only if it still holds
+    /// `expect`. The repair task uses this so a completion racing with a
+    /// crash mark or a fresh mirrored writeback never clobbers it.
+    fn set_if(&self, rpn: u64, slot: usize, expect: ReplicaState, to: ReplicaState) -> bool {
+        let holds = self.get(rpn).is_some_and(|s| s[slot] == expect);
+        if holds {
+            self.set(rpn, slot, to);
+        }
+        holds
+    }
+
+    /// Marks every Synced/Rebuilding replica homed on `node` as Degraded:
+    /// memory nodes are volatile, so an outage wipes what they held.
+    fn degrade_node(&self, node: NodeId) {
+        let mut marks = Vec::new();
+        {
+            let states = self.states.borrow();
+            for (idx, entry) in states.iter().enumerate() {
+                let Some(s) = entry else { continue };
+                for (slot, st) in s.iter().enumerate() {
+                    if self.home(idx as u64, slot) == node && *st != ReplicaState::Degraded {
+                        marks.push((idx as u64, slot));
+                    }
+                }
+            }
+        }
+        for (rpn, slot) in marks {
+            self.set(rpn, slot, ReplicaState::Degraded);
+        }
+    }
+
+    /// Degraded replicas that can be repaired right now: their home node
+    /// is reachable and the page still has a Synced copy to read from.
+    /// The planted `break_rereplication` bug silently skips backup-slot
+    /// repairs — exactly the "works until the other node also blinks"
+    /// failure the ≥1-synced-replica invariant exists to catch.
+    fn scan_repairs(&self, nic: &Nic) -> Vec<(u64, usize)> {
+        let states = self.states.borrow();
+        let mut out = Vec::new();
+        for (idx, entry) in states.iter().enumerate() {
+            let Some(s) = entry else { continue };
+            if !s.contains(&ReplicaState::Synced) {
+                continue;
+            }
+            for (slot, st) in s.iter().enumerate() {
+                if *st != ReplicaState::Degraded {
+                    continue;
+                }
+                if self.break_rereplication && slot == 1 {
+                    continue;
+                }
+                if nic.node_reachable(self.home(idx as u64, slot)) {
+                    out.push((idx as u64, slot));
+                }
+            }
+        }
+        out
+    }
+
+    fn degraded_pages(&self) -> u64 {
+        self.states
+            .borrow()
+            .iter()
+            .flatten()
+            .filter(|s| s.contains(&ReplicaState::Degraded))
+            .count() as u64
+    }
+}
+
+/// Crash monitor + background repair: polls node reachability, degrades
+/// replicas wiped by an outage, and re-replicates them from a surviving
+/// synced copy once their home node is back.
+async fn replication_monitor(
+    sim: SimHandle,
+    table: Rc<ReplicaTable>,
+    nic: Rc<Nic>,
+    poll_ns: Nanos,
+) {
+    loop {
+        sim.sleep(poll_ns).await;
+        if table.stop.get() {
+            return;
+        }
+        for n in 0..table.nodes {
+            let node = NodeId(n);
+            if nic.node_injector(node).is_some() && !nic.node_reachable(node) {
+                table.degrade_node(node);
+            }
+        }
+        // Post the whole repair pass in one batch: re-replication is
+        // bandwidth-bound, not latency-bound. Copying serially would let
+        // a large pass (every page the dead node held) outlive the gap to
+        // the *next* node's outage — exactly the window where the last
+        // synced replica dies and the page is unrecoverable.
+        let mut in_flight = Vec::new();
+        for (rpn, slot) in table.scan_repairs(&nic) {
+            if !table.set_if(rpn, slot, ReplicaState::Degraded, ReplicaState::Rebuilding) {
+                continue;
+            }
+            in_flight.push((rpn, slot, nic.post_write_to(table.home(rpn, slot), PAGE_SIZE)));
+        }
+        for (rpn, slot, c) in in_flight {
+            match c.await {
+                Ok(_) => {
+                    // Guarded: a crash mark while the copy was in flight
+                    // wins (the node lost the fresh copy too).
+                    if table.set_if(rpn, slot, ReplicaState::Rebuilding, ReplicaState::Synced) {
+                        table.stats.rereplicated_pages.inc();
+                    }
+                }
+                Err(_) => {
+                    table.set_if(rpn, slot, ReplicaState::Rebuilding, ReplicaState::Degraded);
+                }
+            }
+        }
+    }
+}
+
+/// Replicates any [`FarBackend`] across ≥ 2 simulated memory nodes:
+/// writebacks are mirrored to a primary + backup replica, reads route to
+/// a synced replica and fail over when the primary's node is mid-crash,
+/// and a background task re-replicates degraded pages after the node's
+/// recovery window — so a node crash costs failover latency instead of
+/// `aborted_faults`.
+///
+/// Kept deliberately primary/backup-simple (bounded retry, no consensus):
+/// the simulation has a single initiator per page at a time, so the
+/// agreement problems that push real RDMA systems toward replicated state
+/// machines never arise here.
+pub struct ReplicatedBackend {
+    sim: SimHandle,
+    inner: Box<dyn FarBackend>,
+    table: Rc<ReplicaTable>,
+}
+
+impl ReplicatedBackend {
+    /// Wraps `inner`, spawning the crash monitor / repair task on `sim`.
+    /// The task runs until [`FarBackend::shutdown`].
+    pub fn new(
+        sim: SimHandle,
+        inner: Box<dyn FarBackend>,
+        cfg: ReplicationConfig,
+        break_rereplication: bool,
+    ) -> Self {
+        let table = Rc::new(ReplicaTable {
+            nodes: cfg.nodes.max(2) as u32,
+            states: RefCell::new(Vec::new()),
+            stats: ReplicationStats::default(),
+            stop: Cell::new(false),
+            break_rereplication,
+        });
+        let nic = Rc::clone(inner.link());
+        let monitor_sim = sim.clone();
+        let monitor_table = Rc::clone(&table);
+        sim.spawn(replication_monitor(
+            monitor_sim,
+            monitor_table,
+            nic,
+            cfg.repair_poll_ns.max(1),
+        ));
+        ReplicatedBackend { sim, inner, table }
+    }
+
+    /// First slot holding a synced replica, in slot order; falls back to
+    /// the primary so an (illegal) zero-synced page still produces a wire
+    /// op rather than a panic.
+    fn synced_slot(&self, rpn: u64) -> usize {
+        self.table
+            .get(rpn)
+            .and_then(|s| (0..2).find(|&i| s[i] == ReplicaState::Synced))
+            .unwrap_or(0)
+    }
+}
+
+impl FarBackend for ReplicatedBackend {
+    fn name(&self) -> &'static str {
+        "replicated"
+    }
+
+    fn read_page(&self, bytes: u64) -> Completion {
+        self.inner.read_page(bytes)
+    }
+
+    fn write_page(&self, bytes: u64) -> Completion {
+        self.inner.write_page(bytes)
+    }
+
+    fn read_page_at(&self, rpn: u64, bytes: u64) -> Completion {
+        // Route by replica state only — reachability is *not* consulted,
+        // so a crash the monitor has not yet observed genuinely surfaces
+        // as NodeUnreachable to the retry layer, which then fails over.
+        let slot = self.synced_slot(rpn);
+        self.inner
+            .link()
+            .post_read_to(self.table.home(rpn, slot), bytes)
+    }
+
+    fn write_page_at(&self, rpn: u64, bytes: u64) -> Completion {
+        let nic = self.inner.link();
+        let now = self.sim.now();
+        let c0 = nic.post_write_to(self.table.home(rpn, 0), bytes);
+        let c1 = nic.post_write_to(self.table.home(rpn, 1), bytes);
+        let oks = [c0.outcome().is_ok(), c1.outcome().is_ok()];
+        for (slot, ok) in oks.iter().enumerate() {
+            let to = if *ok {
+                ReplicaState::Synced
+            } else {
+                ReplicaState::Degraded
+            };
+            self.table.set(rpn, slot, to);
+        }
+        // One durable copy settles the writeback; the degraded side is
+        // the repair task's problem. Both sides failing falls through to
+        // the engine's ordinary write-retry / requeue path.
+        let at = c0.completes_at().max(c1.completes_at());
+        let result = if oks[0] || oks[1] {
+            Ok(())
+        } else {
+            Err(c0.outcome().unwrap_err())
+        };
+        Completion::compose(&self.sim, now, at, result, c0.node())
+    }
+
+    fn failover_read(&self, rpn: u64, bytes: u64) -> Option<Completion> {
+        let s = self.table.get(rpn)?;
+        let nic = self.inner.link();
+        let slot = (0..2).find(|&i| {
+            s[i] == ReplicaState::Synced && nic.node_reachable(self.table.home(rpn, i))
+        })?;
+        Some(nic.post_read_to(self.table.home(rpn, slot), bytes))
+    }
+
+    fn alloc_slot<'a>(&'a self, direct_rpn: u64) -> LocalBoxFuture<'a, Option<u64>> {
+        Box::pin(async move {
+            let rpn = self.inner.alloc_slot(direct_rpn).await?;
+            // Fresh slots hold no data yet; the mirrored writeback that
+            // follows promotes both replicas. Already-tracked slots (a
+            // direct-mapped page re-evicted clean) keep their states.
+            self.table
+                .track(rpn, [ReplicaState::Degraded, ReplicaState::Degraded]);
+            Some(rpn)
+        })
+    }
+
+    fn release_slot<'a>(&'a self, rpn: u64) -> LocalBoxFuture<'a, ()> {
+        Box::pin(async move {
+            self.inner.release_slot(rpn).await;
+            if self.inner.writes_clean_pages() {
+                // The slot returns to a pool; its replicas die with it.
+                self.table.untrack(rpn);
+            }
+        })
+    }
+
+    fn seed_slot(&self, direct_rpn: u64) -> Option<u64> {
+        let rpn = self.inner.seed_slot(direct_rpn)?;
+        // Setup-time seeding is wire-free and lands on every replica.
+        self.table
+            .track(rpn, [ReplicaState::Synced, ReplicaState::Synced]);
+        Some(rpn)
+    }
+
+    fn writes_clean_pages(&self) -> bool {
+        self.inner.writes_clean_pages()
+    }
+
+    fn link(&self) -> &Rc<Nic> {
+        self.inner.link()
+    }
+
+    fn node(&self) -> &MemoryNode {
+        self.inner.node()
+    }
+
+    fn replica_states(&self, rpn: u64) -> Option<[ReplicaState; 2]> {
+        self.table.get(rpn)
+    }
+
+    fn replication_stats(&self) -> Option<&ReplicationStats> {
+        Some(&self.table.stats)
+    }
+
+    fn degraded_pages(&self) -> u64 {
+        self.table.degraded_pages()
+    }
+
+    fn shutdown(&self) {
+        self.table.stop.set(true);
+        self.inner.shutdown();
     }
 }
 
@@ -292,5 +780,161 @@ mod tests {
             b.release_slot(slots[1]).await;
             assert_eq!(b.alloc_slot(0).await, Some(slots[1]), "slot recycled");
         });
+    }
+
+    use mage_fabric::{FaultPlan, TransferError};
+
+    fn replicated(
+        sim: &Simulation,
+        node_plans: Vec<FaultPlan>,
+        break_rereplication: bool,
+    ) -> Rc<ReplicatedBackend> {
+        let cfg = SystemConfig::mage_lib().with_node_faults(node_plans);
+        let inner = Box::new(RdmaBackend::new(sim.handle(), &cfg, 1_024));
+        Rc::new(ReplicatedBackend::new(
+            sim.handle(),
+            inner,
+            ReplicationConfig::default(),
+            break_rereplication,
+        ))
+    }
+
+    #[test]
+    fn replica_state_machine_legality() {
+        use ReplicaState::*;
+        for (from, to, legal) in [
+            (Synced, Degraded, true),
+            (Degraded, Synced, true),
+            (Degraded, Rebuilding, true),
+            (Rebuilding, Synced, true),
+            (Rebuilding, Degraded, true),
+            (Synced, Rebuilding, false),
+        ] {
+            assert_eq!(ReplicaState::legal_transition(from, to), legal, "{from:?}→{to:?}");
+        }
+    }
+
+    #[test]
+    fn mirrored_writeback_promotes_both_replicas() {
+        let sim = Simulation::new();
+        let be = replicated(&sim, Vec::new(), false);
+        let b = Rc::clone(&be);
+        sim.block_on(async move {
+            let rpn = b.alloc_slot(6).await.expect("capacity");
+            assert_eq!(
+                b.replica_states(rpn),
+                Some([ReplicaState::Degraded, ReplicaState::Degraded]),
+                "fresh slot holds no data yet"
+            );
+            let c = b.write_page_at(rpn, PAGE_SIZE);
+            assert!(c.outcome().is_ok(), "mirror merged Ok");
+            c.await.unwrap();
+            assert_eq!(
+                b.replica_states(rpn),
+                Some([ReplicaState::Synced, ReplicaState::Synced])
+            );
+            b.shutdown();
+        });
+        sim.run();
+        assert_eq!(be.degraded_pages(), 0);
+    }
+
+    #[test]
+    fn seeded_slots_start_fully_synced() {
+        let sim = Simulation::new();
+        let be = replicated(&sim, Vec::new(), false);
+        let rpn = be.seed_slot(9).expect("capacity");
+        assert_eq!(
+            be.replica_states(rpn),
+            Some([ReplicaState::Synced, ReplicaState::Synced])
+        );
+        assert!(be.failover_read(12_345, PAGE_SIZE).is_none(), "untracked slot");
+    }
+
+    #[test]
+    fn failover_read_survives_a_primary_outage() {
+        let sim = Simulation::new();
+        // Node 0 is down for the first 50 µs of every 1 ms period; node 1
+        // never blinks.
+        let plans = vec![
+            FaultPlan::staggered_node_crash(7, 0, 2, 1_000_000, 50_000),
+            FaultPlan::none(),
+        ];
+        let be = replicated(&sim, plans, false);
+        let b = Rc::clone(&be);
+        sim.block_on(async move {
+            // rpn 0: primary homes on node 0 (down), backup on node 1.
+            let rpn = b.seed_slot(0).expect("capacity");
+            let primary = b.read_page_at(rpn, PAGE_SIZE);
+            assert_eq!(
+                primary.outcome(),
+                Err(TransferError::NodeUnreachable),
+                "reads route by state, so the crash surfaces to the caller"
+            );
+            let alt = b.failover_read(rpn, PAGE_SIZE).expect("backup replica reachable");
+            alt.await.expect("failover read completes");
+            b.shutdown();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn monitor_degrades_and_repairs_after_recovery() {
+        let sim = Simulation::new();
+        let plans = vec![
+            FaultPlan::staggered_node_crash(7, 0, 2, 1_000_000, 50_000),
+            FaultPlan::none(),
+        ];
+        let be = replicated(&sim, plans, false);
+        let b = Rc::clone(&be);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let rpn = b.seed_slot(0).expect("capacity");
+            // Mid-outage: the monitor has marked node 0's replica wiped.
+            h.sleep(30_000).await;
+            assert_eq!(
+                b.replica_states(rpn),
+                Some([ReplicaState::Degraded, ReplicaState::Synced])
+            );
+            assert_eq!(b.degraded_pages(), 1);
+            // Well past recovery (+ repair poll + copy): re-replicated.
+            h.sleep(200_000).await;
+            assert_eq!(
+                b.replica_states(rpn),
+                Some([ReplicaState::Synced, ReplicaState::Synced])
+            );
+            assert_eq!(b.degraded_pages(), 0);
+            let stats = b.replication_stats().unwrap();
+            assert!(stats.rereplicated_pages.get() >= 1);
+            assert_eq!(stats.illegal_transitions.get(), 0);
+            b.shutdown();
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn broken_rereplication_leaves_backup_slots_degraded() {
+        let sim = Simulation::new();
+        // Node 1 blinks once: rpn 0's *backup* replica (slot 1) homes
+        // there and gets wiped.
+        let plans = vec![
+            FaultPlan::none(),
+            FaultPlan::staggered_node_crash(7, 0, 2, 1_000_000, 50_000),
+        ];
+        let be = replicated(&sim, plans, true);
+        let b = Rc::clone(&be);
+        let h = sim.handle();
+        sim.block_on(async move {
+            let rpn = b.seed_slot(0).expect("capacity");
+            h.sleep(400_000).await;
+            assert_eq!(
+                b.replica_states(rpn),
+                Some([ReplicaState::Synced, ReplicaState::Degraded]),
+                "planted bug: backup-slot repairs are silently skipped"
+            );
+            assert_eq!(b.replication_stats().unwrap().rereplicated_pages.get(), 0);
+            b.shutdown();
+        });
+        sim.run();
     }
 }

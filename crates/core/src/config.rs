@@ -22,7 +22,7 @@ use mage_palloc::LocalAllocatorKind;
 use mage_sim::time::Nanos;
 use mage_sim::SimHandle;
 
-use crate::backend::{DisaggTier, FarBackend, RdmaBackend};
+use crate::backend::{DisaggTier, FarBackend, RdmaBackend, ReplicationConfig};
 use crate::costs::{CostModel, OsProfile};
 use crate::reclaim::{AgingClock, ApproxLru, EvictionPolicy, Fifo, S3Fifo, SecondChance};
 use crate::retry::RetryPolicy;
@@ -194,6 +194,16 @@ pub struct SystemConfig {
     /// Deterministic transport-fault schedule ([`FaultPlan::none`] — a
     /// perfect network — by default).
     pub faults: FaultPlan,
+    /// Per-node fault schedules for multi-node fabrics: `node_faults[i]`
+    /// governs operations targeted at memory node `i` (node-kill chaos
+    /// plans for replicated runs). Empty — a single-node view — by
+    /// default; untargeted operations always follow `faults`.
+    pub node_faults: Vec<FaultPlan>,
+    /// Replicate remote pages across simulated memory nodes with
+    /// transparent read failover and background re-replication. `None`
+    /// (the default) keeps the single-copy backend bit-identical to
+    /// before the replication layer existed.
+    pub replication: Option<ReplicationConfig>,
     /// Transfer retry/timeout policy for recovering from injected faults.
     pub retry: RetryPolicy,
     /// Service-time model.
@@ -215,6 +225,14 @@ pub struct SystemConfig {
     /// presets.
     #[doc(hidden)]
     pub break_publish: bool,
+    /// Test-only fault: the background repair task silently skips
+    /// backup-slot replicas, so a page degraded on its backup node is
+    /// never re-replicated — invisible until the *primary's* node also
+    /// crashes, at which point the page has no synced copy left. Used by
+    /// the mage-check harness to prove the ≥1-synced-replica invariant
+    /// catches and shrinks this bug class. Never set in presets.
+    #[doc(hidden)]
+    pub break_rereplication: bool,
 }
 
 impl SystemConfig {
@@ -239,8 +257,11 @@ impl SystemConfig {
             tlb_coherence: true,
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
+            node_faults: Vec::new(),
+            replication: None,
             break_settlement: false,
             break_publish: false,
+            break_rereplication: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::unikernel(), true),
         }
@@ -271,8 +292,11 @@ impl SystemConfig {
                 ..NicConfig::bluefield2_200g()
             },
             faults: FaultPlan::none(),
+            node_faults: Vec::new(),
+            replication: None,
             break_settlement: false,
             break_publish: false,
+            break_rereplication: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::mage_lnx(), true),
         }
@@ -300,8 +324,11 @@ impl SystemConfig {
             tlb_coherence: true,
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
+            node_faults: Vec::new(),
+            replication: None,
             break_settlement: false,
             break_publish: false,
+            break_rereplication: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::linux_bare_metal(), false),
         }
@@ -330,8 +357,11 @@ impl SystemConfig {
             tlb_coherence: true,
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
+            node_faults: Vec::new(),
+            replication: None,
             break_settlement: false,
             break_publish: false,
+            break_rereplication: false,
             retry: RetryPolicy::default(),
             costs: CostModel::new(OsProfile::unikernel(), true),
         }
@@ -361,8 +391,11 @@ impl SystemConfig {
             tlb_coherence: false,
             nic: NicConfig::bluefield2_200g(),
             faults: FaultPlan::none(),
+            node_faults: Vec::new(),
+            replication: None,
             break_settlement: false,
             break_publish: false,
+            break_rereplication: false,
             retry: RetryPolicy::default(),
             costs: CostModel::ideal(),
         }
@@ -408,6 +441,20 @@ impl SystemConfig {
         self
     }
 
+    /// Installs per-node fault schedules: `plans[i]` governs operations
+    /// targeted at memory node `i` (the node-kill chaos suite).
+    pub fn with_node_faults(mut self, plans: Vec<FaultPlan>) -> Self {
+        self.node_faults = plans;
+        self
+    }
+
+    /// Replicates remote pages across simulated memory nodes (primary +
+    /// backup, transparent read failover, background re-replication).
+    pub fn with_replication(mut self, replication: ReplicationConfig) -> Self {
+        self.replication = Some(replication);
+        self
+    }
+
     /// Overrides the transfer retry/timeout policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
@@ -429,6 +476,15 @@ impl SystemConfig {
     #[doc(hidden)]
     pub fn with_broken_publish(mut self) -> Self {
         self.break_publish = true;
+        self
+    }
+
+    /// Test-only: deliberately skips backup-slot re-replication (see
+    /// [`SystemConfig::break_rereplication`]). For the mage-check oracle
+    /// tests; never use in experiments.
+    #[doc(hidden)]
+    pub fn with_broken_rereplication(mut self) -> Self {
+        self.break_rereplication = true;
         self
     }
 }

@@ -278,7 +278,10 @@ impl FarMemory {
         if was_remote {
             let t_r = self.sim.now();
             self.sim.sleep(costs.os.rdma_post_cpu_ns).await;
-            if let Err(err) = self.transfer_with_retry(TransferOp::Read, PAGE_SIZE).await {
+            if let Err(err) = self
+                .transfer_with_retry(TransferOp::Read, PAGE_SIZE, Some(rpn))
+                .await
+            {
                 // Abort the fault: the remote copy is the only copy, so
                 // the PTE stays remote. Unlock it, return the frame and
                 // wake everything that was waiting on this page or on

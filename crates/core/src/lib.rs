@@ -68,7 +68,10 @@ pub mod reclaim;
 pub mod retry;
 pub mod stats;
 
-pub use backend::{DisaggTier, FarBackend, LocalBoxFuture, RdmaBackend};
+pub use backend::{
+    DisaggTier, FarBackend, LocalBoxFuture, RdmaBackend, ReplicaState, ReplicatedBackend,
+    ReplicationConfig, ReplicationStats,
+};
 pub use config::{
     BackendKind, EvictionPolicyKind, PrefetchPolicy, RemoteAllocKind, SystemConfig,
 };

@@ -30,7 +30,7 @@ use mage_sim::time::{Nanos, SimTime};
 use mage_sim::trace::Tracer;
 use mage_sim::SimHandle;
 
-use crate::backend::FarBackend;
+use crate::backend::{FarBackend, ReplicatedBackend};
 use crate::config::{EvictionPolicyKind, SystemConfig};
 use crate::events::{EventSink, EventTap, PageEvent};
 use crate::metrics::MetricsRegistry;
@@ -175,6 +175,15 @@ impl FarMemory {
             };
         }
         let backend = cfg.backend.build(sim.clone(), &cfg, params.remote_pages);
+        let backend: Box<dyn FarBackend> = match cfg.replication {
+            Some(replication) => Box::new(ReplicatedBackend::new(
+                sim.clone(),
+                backend,
+                replication,
+                cfg.break_rereplication,
+            )),
+            None => backend,
+        };
         let policy = cfg.eviction_policy.build();
         let tlbs: Vec<Rc<Tlb>> = (0..topo.total_cores())
             .map(|i| Rc::new(Tlb::new(params.tlb_entries, params.seed ^ i as u64)))
@@ -291,6 +300,7 @@ impl FarMemory {
             nic: self.backend.link().stats(),
             interrupts: self.ic.stats(),
             accounting: self.acct.stats(),
+            replication: self.backend.replication_stats(),
         }
     }
 
@@ -400,9 +410,11 @@ impl FarMemory {
         }
     }
 
-    /// Signals the background threads to exit.
+    /// Signals the background threads (evictors and the backend's
+    /// replication monitor, if any) to exit.
     pub fn shutdown(&self) {
         self.stop_flag.set(true);
+        self.backend.shutdown();
     }
 
     /// Maps a new region of `pages` pages.

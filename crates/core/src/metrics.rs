@@ -23,6 +23,7 @@ use mage_mmu::IpiStats;
 use mage_sim::stats::{CounterSnapshot, HistogramDelta, HistogramSnapshot, TimeStatDelta, TimeStatSnapshot};
 use mage_sim::time::Nanos;
 
+use crate::backend::ReplicationStats;
 use crate::stats::{BreakdownMeans, EngineStats};
 
 /// Borrowed view of every stat source of one machine; the entry point for
@@ -37,6 +38,9 @@ pub struct MetricsRegistry<'a> {
     pub interrupts: &'a IpiStats,
     /// Page-accounting counters.
     pub accounting: &'a AccountingStats,
+    /// Replica-repair counters, present only when the machine runs a
+    /// [`ReplicatedBackend`](crate::backend::ReplicatedBackend).
+    pub replication: Option<&'a ReplicationStats>,
 }
 
 /// Start line of a measurement window: a point-in-time capture of every
@@ -65,6 +69,7 @@ pub struct MetricsSnapshot {
     transfer_failures: CounterSnapshot,
     aborted_faults: CounterSnapshot,
     requeued_victims: CounterSnapshot,
+    failover_reads: CounterSnapshot,
     re_faults: CounterSnapshot,
     ghost_hits: CounterSnapshot,
     fault_latency: HistogramSnapshot,
@@ -92,6 +97,9 @@ pub struct MetricsSnapshot {
     acct_scanned: CounterSnapshot,
     acct_reactivated: CounterSnapshot,
     acct_victims: CounterSnapshot,
+    // Replication (zero when the machine has no replicated backend).
+    rereplicated_pages: CounterSnapshot,
+    degraded_marks: CounterSnapshot,
 }
 
 /// The *end − start* deltas of one measurement window. Every field is a
@@ -139,6 +147,8 @@ pub struct MetricsWindow {
     pub aborted_faults: u64,
     /// Requeued eviction victims in the window.
     pub requeued_victims: u64,
+    /// Reads served from a surviving replica in the window.
+    pub failover_reads: u64,
     /// Major faults that hit the ghost list in the window (pages evicted
     /// too early — the re-fault-rate numerator).
     pub re_faults: u64,
@@ -189,6 +199,11 @@ pub struct MetricsWindow {
     pub acct_reactivated: u64,
     /// Accounting victims taken in the window.
     pub acct_victims: u64,
+    /// Pages copied back to full replication in the window (zero without
+    /// a replicated backend).
+    pub rereplicated_pages: u64,
+    /// Replica slots marked degraded by node outages in the window.
+    pub degraded_marks: u64,
 }
 
 impl MetricsWindow {
@@ -248,6 +263,7 @@ impl MetricsRegistry<'_> {
             transfer_failures: e.transfer_failures.snapshot(),
             aborted_faults: e.aborted_faults.snapshot(),
             requeued_victims: e.requeued_victims.snapshot(),
+            failover_reads: e.failover_reads.snapshot(),
             re_faults: e.re_faults.snapshot(),
             ghost_hits: e.ghost_hits.snapshot(),
             fault_latency: e.fault_latency.snapshot(),
@@ -272,6 +288,14 @@ impl MetricsRegistry<'_> {
             acct_scanned: self.accounting.scanned.snapshot(),
             acct_reactivated: self.accounting.reactivated.snapshot(),
             acct_victims: self.accounting.victims.snapshot(),
+            rereplicated_pages: self
+                .replication
+                .map(|r| r.rereplicated_pages.snapshot())
+                .unwrap_or_default(),
+            degraded_marks: self
+                .replication
+                .map(|r| r.degraded_marks.snapshot())
+                .unwrap_or_default(),
         }
     }
 
@@ -300,6 +324,7 @@ impl MetricsRegistry<'_> {
             transfer_failures: e.transfer_failures.delta(&start.transfer_failures),
             aborted_faults: e.aborted_faults.delta(&start.aborted_faults),
             requeued_victims: e.requeued_victims.delta(&start.requeued_victims),
+            failover_reads: e.failover_reads.delta(&start.failover_reads),
             re_faults: e.re_faults.delta(&start.re_faults),
             ghost_hits: e.ghost_hits.delta(&start.ghost_hits),
             fault_latency: e.fault_latency.delta(&start.fault_latency),
@@ -324,6 +349,14 @@ impl MetricsRegistry<'_> {
             acct_scanned: self.accounting.scanned.delta(&start.acct_scanned),
             acct_reactivated: self.accounting.reactivated.delta(&start.acct_reactivated),
             acct_victims: self.accounting.victims.delta(&start.acct_victims),
+            rereplicated_pages: self
+                .replication
+                .map(|r| r.rereplicated_pages.delta(&start.rereplicated_pages))
+                .unwrap_or(0),
+            degraded_marks: self
+                .replication
+                .map(|r| r.degraded_marks.delta(&start.degraded_marks))
+                .unwrap_or(0),
         }
     }
 }

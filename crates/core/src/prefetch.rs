@@ -126,7 +126,11 @@ impl FarMemory {
             return;
         };
         self.sim.sleep(self.cfg.costs.os.rdma_post_cpu_ns).await;
-        if self.await_op(self.backend.read_page(PAGE_SIZE)).await.is_err() {
+        if self
+            .await_op(self.backend.read_page_at(rpn, PAGE_SIZE))
+            .await
+            .is_err()
+        {
             // Prefetches are speculative: no retries, just roll back and
             // let a real fault (with its retry budget) fetch the page.
             self.pt.unlock(vpn);

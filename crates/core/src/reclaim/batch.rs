@@ -18,6 +18,9 @@ use crate::retry::TransferOp;
 pub(crate) struct EvictPage {
     pub(crate) vpn: u64,
     pub(crate) frame: u64,
+    /// Backend slot the page writes back to (replicated backends route
+    /// the mirror writes by this).
+    pub(crate) rpn: u64,
     pub(crate) dirty: bool,
     /// Generation tag matching this page's entry in `FarMemory::evicting`.
     pub(crate) gen: u64,
@@ -94,6 +97,7 @@ impl FarMemory {
         Some(EvictPage {
             vpn,
             frame,
+            rpn,
             dirty,
             gen,
         })
@@ -147,7 +151,7 @@ impl FarMemory {
         let mut completions = Vec::new();
         for (idx, page) in batch.iter().enumerate() {
             if page.dirty || must_write_clean {
-                completions.push((idx, self.backend.write_page(PAGE_SIZE)));
+                completions.push((idx, self.backend.write_page_at(page.rpn, PAGE_SIZE)));
             } else {
                 self.stats.clean_reclaims.inc();
             }
@@ -197,7 +201,7 @@ impl FarMemory {
         for (idx, c) in &wb.completions {
             if let Err(e) = c.outcome() {
                 if self
-                    .retry_transfer(TransferOp::Write, PAGE_SIZE, Err(e))
+                    .retry_transfer(TransferOp::Write, PAGE_SIZE, Some(batch[*idx].rpn), Err(e))
                     .await
                     .is_err()
                 {

@@ -91,6 +91,7 @@ mod tests {
             let old_batch = vec![EvictPage {
                 vpn,
                 frame,
+                rpn: 7,
                 dirty: false,
                 gen: 1,
             }];

@@ -109,10 +109,16 @@ impl FarMemory {
         c.await
     }
 
-    fn post_transfer(&self, op: TransferOp, bytes: u64) -> Completion {
-        match op {
-            TransferOp::Read => self.backend.read_page(bytes),
-            TransferOp::Write => self.backend.write_page(bytes),
+    /// Posts one transfer. With a known backend slot the slot-addressed
+    /// entry points are used, which replication-aware backends route to
+    /// replicas; the defaults delegate straight to the plain posts, so
+    /// unreplicated behaviour is unchanged.
+    fn post_transfer(&self, op: TransferOp, bytes: u64, rpn: Option<u64>) -> Completion {
+        match (op, rpn) {
+            (TransferOp::Read, Some(rpn)) => self.backend.read_page_at(rpn, bytes),
+            (TransferOp::Read, None) => self.backend.read_page(bytes),
+            (TransferOp::Write, Some(rpn)) => self.backend.write_page_at(rpn, bytes),
+            (TransferOp::Write, None) => self.backend.write_page(bytes),
         }
     }
 
@@ -121,10 +127,11 @@ impl FarMemory {
         &self,
         op: TransferOp,
         bytes: u64,
+        rpn: Option<u64>,
     ) -> Result<Nanos, FaultError> {
-        let c = self.post_transfer(op, bytes);
+        let c = self.post_transfer(op, bytes, rpn);
         let first = self.await_op(c).await;
-        self.retry_transfer(op, bytes, first).await
+        self.retry_transfer(op, bytes, rpn, first).await
     }
 
     /// Applies the retry policy to an already-observed first attempt:
@@ -135,12 +142,26 @@ impl FarMemory {
         &self,
         op: TransferOp,
         bytes: u64,
+        rpn: Option<u64>,
         first: Result<Nanos, TransferError>,
     ) -> Result<Nanos, FaultError> {
         let mut last = match first {
             Ok(lat) => return Ok(lat),
             Err(e) => e,
         };
+        // Transparent failover: a node-unreachable read on a replicated
+        // backend re-routes to a surviving synced replica before any
+        // backoff — the crash costs one extra read, not an abort.
+        // Unreplicated backends answer `None` here without an await or an
+        // RNG draw, leaving their fault schedules untouched.
+        if last == TransferError::NodeUnreachable && op == TransferOp::Read {
+            if let Some(c) = rpn.and_then(|rpn| self.backend.failover_read(rpn, bytes)) {
+                if let Ok(lat) = self.await_op(c).await {
+                    self.stats.failover_reads.inc();
+                    return Ok(lat);
+                }
+            }
+        }
         let policy = self.cfg.retry.clone();
         let t0 = self.sim.now();
         // Trace spans live on the dedicated retry track and are emitted
@@ -157,7 +178,7 @@ impl FarMemory {
                 .await;
             // Re-posting costs CPU like the original post did.
             self.sim.sleep(self.cfg.costs.os.rdma_post_cpu_ns).await;
-            let c = self.post_transfer(op, bytes);
+            let c = self.post_transfer(op, bytes, rpn);
             match self.await_op(c).await {
                 Ok(lat) => {
                     self.stats

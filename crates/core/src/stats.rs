@@ -119,6 +119,9 @@ pub struct EngineStats {
     /// Eviction victims re-inserted as resident because their writeback
     /// exhausted retries (the remote copy never became durable).
     pub requeued_victims: Counter,
+    /// Reads served from a surviving replica after the primary's node
+    /// went unreachable (replicated backends only; zero otherwise).
+    pub failover_reads: Counter,
     /// First failure → eventual success latency of recovered transfers, ns.
     pub retry_latency: Histogram,
     /// Major faults whose page still sat on the accounting ghost list of

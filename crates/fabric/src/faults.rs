@@ -84,6 +84,14 @@ pub struct FaultPlan {
     pub crash_duration_ns: Nanos,
     /// Probability that a given epoch contains an outage.
     pub crash_rate: f64,
+    /// Aligned crash windows: the outage opens at the *start* of each
+    /// affected epoch (after shifting time by `crash_phase_ns`) instead of
+    /// at a pseudo-random offset. Replication tests use this to build
+    /// provably disjoint staggered outage schedules across nodes.
+    pub crash_aligned: bool,
+    /// Virtual-time shift applied before epoch/window computation when
+    /// `crash_aligned` is set; staggers otherwise identical plans.
+    pub crash_phase_ns: Nanos,
 }
 
 impl FaultPlan {
@@ -101,6 +109,8 @@ impl FaultPlan {
             crash_period_ns: 0,
             crash_duration_ns: 0,
             crash_rate: 0.0,
+            crash_aligned: false,
+            crash_phase_ns: 0,
         }
     }
 
@@ -117,9 +127,37 @@ impl FaultPlan {
             brownout_duration_ns: 300_000,
             brownout_rate: 0.3,
             brownout_bw_div: 8,
-            crash_period_ns: 0,
-            crash_duration_ns: 0,
-            crash_rate: 0.0,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A staggered per-node crash plan: node `index` of `nodes` suffers a
+    /// deterministic outage of `duration_ns` once per `period_ns`, phase-
+    /// shifted so the windows of distinct nodes never overlap (requires
+    /// `duration_ns <= period_ns / nodes`, which this constructor clamps
+    /// to). Replication tests rely on the disjointness: at any instant at
+    /// most one replica's home node is down.
+    pub fn staggered_node_crash(
+        seed: u64,
+        index: usize,
+        nodes: usize,
+        period_ns: Nanos,
+        duration_ns: Nanos,
+    ) -> Self {
+        let nodes = nodes.max(1) as u64;
+        let slot = period_ns / nodes;
+        // Window for node `index` opens at offset index*slot inside each
+        // period; `crash_phase_ns` shifts time so the open instant lands
+        // on the (shifted) epoch boundary.
+        let start = (index as u64 % nodes) * slot;
+        FaultPlan {
+            seed,
+            crash_period_ns: period_ns,
+            crash_duration_ns: duration_ns.min(slot.max(1)),
+            crash_rate: 1.0,
+            crash_aligned: true,
+            crash_phase_ns: (period_ns - start) % period_ns.max(1),
+            ..FaultPlan::none()
         }
     }
 
@@ -304,8 +342,30 @@ impl FaultInjector {
             )
     }
 
+    /// Whether an *aligned* crash window is open at `now`: the outage
+    /// occupies the first `duration` ns of each affected (phase-shifted)
+    /// epoch. Pure in (`seed`, `now`), like [`Self::window_active`].
+    fn aligned_crash_active(&self, now: SimTime) -> bool {
+        let period = self.plan.crash_period_ns;
+        let duration = self.plan.crash_duration_ns;
+        if period == 0 || duration == 0 || self.plan.crash_rate <= 0.0 {
+            return false;
+        }
+        let t = now.as_nanos().wrapping_add(self.plan.crash_phase_ns);
+        let epoch = t / period;
+        let h = mix64(self.plan.seed ^ STREAM_CRASH ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u >= self.plan.crash_rate {
+            return false;
+        }
+        t % period < duration.min(period)
+    }
+
     /// Whether the remote node is down at `now`.
     pub fn node_down(&self, now: SimTime) -> bool {
+        if self.plan.crash_aligned {
+            return self.aligned_crash_active(now);
+        }
         self.window_active(
             STREAM_CRASH,
             self.plan.crash_period_ns,
@@ -313,6 +373,29 @@ impl FaultInjector {
             self.plan.crash_rate,
             now,
         )
+    }
+
+    /// End instant of the outage window containing `now`, if the node is
+    /// down. Background re-replication uses this to wait out the window
+    /// instead of polling blindly.
+    pub fn outage_ends_at(&self, now: SimTime) -> Option<SimTime> {
+        if !self.node_down(now) {
+            return None;
+        }
+        let period = self.plan.crash_period_ns;
+        let duration = self.plan.crash_duration_ns.min(period);
+        let t = now.as_nanos();
+        if self.plan.crash_aligned {
+            let shifted = t.wrapping_add(self.plan.crash_phase_ns);
+            let into = shifted % period;
+            return Some(SimTime::from_nanos(t + (duration - into)));
+        }
+        // Recompute the pseudo-random offset of this epoch's window.
+        let epoch = t / period;
+        let h = mix64(self.plan.seed ^ STREAM_CRASH ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let span = period - duration;
+        let offset = if span == 0 { 0 } else { mix64(h ^ 0x000F_F5E7) % (span + 1) };
+        Some(SimTime::from_nanos(epoch * period + offset + duration))
     }
 
     /// Decides the fate of one operation posted at `now`.
@@ -468,6 +551,66 @@ mod tests {
         }
         assert!(saw_down, "outage windows must open");
         assert!(inj.recoveries() > 0, "the node must also come back");
+    }
+
+    #[test]
+    fn staggered_node_crashes_are_disjoint_and_periodic() {
+        let nodes = 3;
+        let injs: Vec<_> = (0..nodes)
+            .map(|i| {
+                FaultInjector::new(
+                    FaultPlan::staggered_node_crash(9, i, nodes, 300_000, 40_000),
+                    0,
+                )
+            })
+            .collect();
+        let mut down_counts = vec![0u64; nodes];
+        for t in (0..3_000_000u64).step_by(500) {
+            let now = SimTime::from_nanos(t);
+            let down: Vec<bool> = injs.iter().map(|i| i.node_down(now)).collect();
+            assert!(
+                down.iter().filter(|&&d| d).count() <= 1,
+                "overlapping outages at t={t}: {down:?}"
+            );
+            for (i, d) in down.iter().enumerate() {
+                if *d {
+                    down_counts[i] += 1;
+                }
+            }
+        }
+        for (i, c) in down_counts.iter().enumerate() {
+            assert!(*c > 0, "node {i} never crashed");
+        }
+    }
+
+    #[test]
+    fn outage_end_bounds_the_open_window() {
+        for plan in [
+            FaultPlan::staggered_node_crash(4, 1, 2, 200_000, 30_000),
+            FaultPlan {
+                seed: 4,
+                crash_period_ns: 200_000,
+                crash_duration_ns: 30_000,
+                crash_rate: 1.0,
+                ..FaultPlan::none()
+            },
+        ] {
+            let inj = FaultInjector::new(plan, 0);
+            let mut checked = 0;
+            for t in (0..2_000_000u64).step_by(777) {
+                let now = SimTime::from_nanos(t);
+                if let Some(end) = inj.outage_ends_at(now) {
+                    assert!(inj.node_down(now));
+                    assert!(
+                        !inj.node_down(end),
+                        "node still down at its predicted recovery {end:?} (t={t})"
+                    );
+                    assert!(end.as_nanos() > t && end.as_nanos() - t <= 30_000);
+                    checked += 1;
+                }
+            }
+            assert!(checked > 0, "no outage window ever observed");
+        }
     }
 
     #[test]

@@ -30,4 +30,4 @@ pub mod node;
 
 pub use faults::{FaultInjector, FaultPlan, FaultStats, TransferError};
 pub use link::{Completion, Nic, NicConfig, NicStats};
-pub use node::{MemoryNode, RemoteAddr, RemoteRegion};
+pub use node::{MemoryNode, NodeId, RemoteAddr, RemoteRegion};

@@ -10,6 +10,7 @@ use mage_sim::trace::{Tracer, TRACK_NIC};
 use mage_sim::SimHandle;
 
 use crate::faults::{FaultInjector, FaultPlan, FaultStats, OpInjection, TransferError};
+use crate::node::NodeId;
 
 /// Configuration of a simulated RDMA NIC / link.
 #[derive(Clone, Debug)]
@@ -141,6 +142,10 @@ pub struct Nic {
     /// clean path never consults the plan, so a `FaultPlan::none()`
     /// schedule is bit-identical to a build without this layer.
     injector: Option<FaultInjector>,
+    /// Per-node fault injectors for multi-node fabrics (empty on the
+    /// default single-node view). Node-targeted posts consult the node's
+    /// own injector; nodes without one fall back to the link injector.
+    node_injectors: Vec<Option<FaultInjector>>,
     /// Optional trace collector; `None` (the default) costs one branch
     /// per posted operation.
     tracer: RefCell<Option<Rc<Tracer>>>,
@@ -155,7 +160,25 @@ impl Nic {
     /// Creates a NIC that executes `plan` against every posted operation.
     /// An inactive plan (all rates zero) is dropped entirely.
     pub fn with_faults(sim: SimHandle, config: NicConfig, plan: FaultPlan) -> Self {
+        Nic::with_node_faults(sim, config, plan, Vec::new())
+    }
+
+    /// Creates a NIC serving a multi-node fabric: `plan` governs untargeted
+    /// posts (and targeted posts at nodes without their own plan), while
+    /// `node_plans[i]` governs posts targeted at node `i`. Inactive plans
+    /// are dropped, keeping those paths bit-identical to the clean build.
+    pub fn with_node_faults(
+        sim: SimHandle,
+        config: NicConfig,
+        plan: FaultPlan,
+        node_plans: Vec<FaultPlan>,
+    ) -> Self {
         let injector = plan.is_active().then(|| FaultInjector::new(plan, 0));
+        let node_injectors = node_plans
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| p.is_active().then(|| FaultInjector::new(p, 1 + i as u64)))
+            .collect();
         Nic {
             sim,
             config,
@@ -163,6 +186,7 @@ impl Nic {
             tx: Direction::new(),
             stats: NicStats::default(),
             injector,
+            node_injectors,
             tracer: RefCell::new(None),
         }
     }
@@ -201,12 +225,38 @@ impl Nic {
         }
     }
 
+    fn sample_node(&self, node: NodeId, now: SimTime) -> OpInjection {
+        match self.node_injectors.get(node.index()).and_then(|i| i.as_ref()) {
+            Some(inj) => inj.sample(now),
+            None => self.sample(now),
+        }
+    }
+
     /// Posts a one-sided RDMA read of `bytes`; the returned completion
     /// resolves when the data has fully arrived (or the failure has been
     /// detected, for injected faults).
     pub fn post_read(&self, bytes: u64) -> Completion {
         let now = self.sim.now();
         let inj = self.sample(now);
+        self.finish_read(now, bytes, inj, None)
+    }
+
+    /// Posts a one-sided RDMA read of `bytes` targeted at `node`: the
+    /// node's own fault plan (if any) decides the op's fate and the
+    /// completion carries the node id for failover accounting.
+    pub fn post_read_to(&self, node: NodeId, bytes: u64) -> Completion {
+        let now = self.sim.now();
+        let inj = self.sample_node(node, now);
+        self.finish_read(now, bytes, inj, Some(node))
+    }
+
+    fn finish_read(
+        &self,
+        now: SimTime,
+        bytes: u64,
+        inj: OpInjection,
+        node: Option<NodeId>,
+    ) -> Completion {
         if inj.node_down {
             // No bandwidth consumed: the node never answers and the
             // initiator notices after one base latency.
@@ -216,6 +266,7 @@ impl Nic {
                 now,
                 done,
                 Err(TransferError::NodeUnreachable),
+                node,
             );
         }
         let ser = self.config.serialize_ns(bytes).saturating_mul(inj.ser_factor);
@@ -242,7 +293,7 @@ impl Nic {
                 Ok(())
             }
         };
-        Completion::new(self.sim.sleep_until(done), now, done, result)
+        Completion::new(self.sim.sleep_until(done), now, done, result, node)
     }
 
     /// Posts a one-sided RDMA write of `bytes`; the returned completion
@@ -251,6 +302,24 @@ impl Nic {
     pub fn post_write(&self, bytes: u64) -> Completion {
         let now = self.sim.now();
         let inj = self.sample(now);
+        self.finish_write(now, bytes, inj, None)
+    }
+
+    /// Posts a one-sided RDMA write of `bytes` targeted at `node` (the
+    /// write-side counterpart of [`Nic::post_read_to`]).
+    pub fn post_write_to(&self, node: NodeId, bytes: u64) -> Completion {
+        let now = self.sim.now();
+        let inj = self.sample_node(node, now);
+        self.finish_write(now, bytes, inj, Some(node))
+    }
+
+    fn finish_write(
+        &self,
+        now: SimTime,
+        bytes: u64,
+        inj: OpInjection,
+        node: Option<NodeId>,
+    ) -> Completion {
         if inj.node_down {
             let done = now + self.config.base_write_ns;
             return Completion::new(
@@ -258,6 +327,7 @@ impl Nic {
                 now,
                 done,
                 Err(TransferError::NodeUnreachable),
+                node,
             );
         }
         let ser = self.config.serialize_ns(bytes).saturating_mul(inj.ser_factor);
@@ -282,7 +352,34 @@ impl Nic {
                 Ok(())
             }
         };
-        Completion::new(self.sim.sleep_until(done), now, done, result)
+        Completion::new(self.sim.sleep_until(done), now, done, result, node)
+    }
+
+    /// Whether `node` is reachable right now. Nodes without a fault plan
+    /// (including every node of a single-node fabric) are always up.
+    pub fn node_reachable(&self, node: NodeId) -> bool {
+        match self.node_injectors.get(node.index()).and_then(|i| i.as_ref()) {
+            Some(inj) => !inj.node_down(self.sim.now()),
+            None => true,
+        }
+    }
+
+    /// End of the outage window `node` is currently inside, if any.
+    pub fn node_outage_ends_at(&self, node: NodeId) -> Option<SimTime> {
+        self.node_injectors
+            .get(node.index())
+            .and_then(|i| i.as_ref())
+            .and_then(|inj| inj.outage_ends_at(self.sim.now()))
+    }
+
+    /// The per-node fault injector of `node`, if one is configured.
+    pub fn node_injector(&self, node: NodeId) -> Option<&FaultInjector> {
+        self.node_injectors.get(node.index()).and_then(|i| i.as_ref())
+    }
+
+    /// Number of per-node fault plans this NIC was configured with.
+    pub fn node_plan_count(&self) -> usize {
+        self.node_injectors.len()
     }
 
     /// Current backlog (ns of queued serialization) on the read direction.
@@ -320,21 +417,49 @@ pub struct Completion {
     posted: SimTime,
     at: SimTime,
     result: Result<(), TransferError>,
+    node: Option<NodeId>,
 }
 
 impl Completion {
-    fn new(sleep: Sleep, posted: SimTime, at: SimTime, result: Result<(), TransferError>) -> Self {
+    fn new(
+        sleep: Sleep,
+        posted: SimTime,
+        at: SimTime,
+        result: Result<(), TransferError>,
+        node: Option<NodeId>,
+    ) -> Self {
         Completion {
             sleep,
             posted,
             at,
             result,
+            node,
         }
+    }
+
+    /// Builds a completion from an already-decided (instant, status) pair.
+    /// Layered backends (mirrored writes, failover reads) use this to merge
+    /// several wire completions into one logical completion whose instant
+    /// and outcome are fixed at post time, like the NIC's own.
+    pub fn compose(
+        sim: &SimHandle,
+        posted: SimTime,
+        at: SimTime,
+        result: Result<(), TransferError>,
+        node: Option<NodeId>,
+    ) -> Self {
+        Completion::new(sim.sleep_until(at), posted, at, result, node)
     }
 
     /// The (already determined) completion instant.
     pub fn completes_at(&self) -> SimTime {
         self.at
+    }
+
+    /// The memory node the operation was targeted at, if it was posted
+    /// through a node-addressed entry point.
+    pub fn node(&self) -> Option<NodeId> {
+        self.node
     }
 
     /// The completion status with post→completion latency, decided at
@@ -570,6 +695,55 @@ mod tests {
             assert_eq!(lat, 4 * 1_024 + 1_000);
         });
         assert_eq!(nic.fault_stats().unwrap().brownout_ops.get(), 1);
+    }
+
+    #[test]
+    fn node_targeted_posts_use_the_node_plan() {
+        // Node 1 is permanently down; node 0 has no plan of its own and
+        // untargeted posts stay clean.
+        let down = FaultPlan {
+            seed: 2,
+            crash_period_ns: 1_000_000,
+            crash_duration_ns: 1_000_000,
+            crash_rate: 1.0,
+            ..FaultPlan::none()
+        };
+        let sim = Simulation::new();
+        let nic = Rc::new(Nic::with_node_faults(
+            sim.handle(),
+            fast_cfg(),
+            FaultPlan::none(),
+            vec![FaultPlan::none(), down],
+        ));
+        let n = Rc::clone(&nic);
+        sim.block_on(async move {
+            assert!(n.node_reachable(NodeId(0)));
+            assert!(!n.node_reachable(NodeId(1)));
+            let ok = n.post_read_to(NodeId(0), 4096);
+            assert_eq!(ok.node(), Some(NodeId(0)));
+            ok.await.unwrap();
+            let bad = n.post_write_to(NodeId(1), 4096);
+            assert_eq!(bad.node(), Some(NodeId(1)));
+            assert_eq!(bad.await, Err(TransferError::NodeUnreachable));
+            n.post_read(4096).await.unwrap();
+        });
+        assert_eq!(nic.stats().reads.get(), 2);
+        assert_eq!(nic.stats().writes.get(), 0);
+    }
+
+    #[test]
+    fn composed_completions_behave_like_posted_ones() {
+        let sim = Simulation::new();
+        let h = sim.handle();
+        sim.block_on(async move {
+            let at = SimTime::from_nanos(5_000);
+            let c = Completion::compose(&h, h.now(), at, Ok(()), Some(NodeId(1)));
+            assert_eq!(c.completes_at(), at);
+            assert_eq!(c.node(), Some(NodeId(1)));
+            assert_eq!(c.outcome(), Ok(5_000));
+            assert_eq!(c.await, Ok(5_000));
+            assert_eq!(h.now(), at);
+        });
     }
 
     #[test]

@@ -9,6 +9,34 @@
 use std::cell::RefCell;
 use std::fmt;
 
+/// Identity of one simulated memory node behind a link. The single-node
+/// fabric is node 0; replicated configurations address mirrors on nodes
+/// 1, 2, … via [`crate::Nic::post_read_to`] / [`crate::Nic::post_write_to`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The default (primary) node of a single-node fabric.
+    pub const PRIMARY: NodeId = NodeId(0);
+
+    /// Index into per-node tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
 /// An address in the far-memory node's registered address space.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RemoteAddr(pub u64);

@@ -146,6 +146,14 @@ pub struct RunReport {
     pub aborted_faults: u64,
     /// Eviction victims re-inserted after a failed writeback.
     pub requeued_victims: u64,
+    /// Reads served from a surviving replica after the primary's node
+    /// went unreachable (zero without a replicated backend).
+    pub failover_reads: u64,
+    /// Pages copied back to full replication after a node outage.
+    pub rereplicated_pages: u64,
+    /// Replica slots still degraded when the run ended (end-of-run
+    /// gauge, not a window delta).
+    pub degraded_pages: u64,
     /// Major faults whose page was still on the accounting ghost list —
     /// pages the eviction policy gave up on too early. The numerator of
     /// [`RunReport::re_fault_rate`].
@@ -375,6 +383,7 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
         tracer.map(|t| t.to_chrome_json()),
     );
     report.executor_polls = sim.polls();
+    report.degraded_pages = engine.backend().degraded_pages();
     report
 }
 
@@ -415,6 +424,9 @@ fn report_from(
         transfer_failures: w.transfer_failures,
         aborted_faults: w.aborted_faults,
         requeued_victims: w.requeued_victims,
+        failover_reads: w.failover_reads,
+        rereplicated_pages: w.rereplicated_pages,
+        degraded_pages: 0,
         re_faults: w.re_faults,
         ghost_hits: w.ghost_hits,
         trace_json,

@@ -50,7 +50,8 @@ pub mod prelude {
         Access, AgingClock, ApproxLru, BackendKind, CostModel, DisaggTier, EvictionPolicy,
         EvictionPolicyKind, FarBackend, FarMemory, FaultError, Fifo, IdealModel, MachineParams,
         MetricsRegistry, MetricsSnapshot, MetricsWindow, OsProfile, PrefetchPolicy, RdmaBackend,
-        RetryPolicy, S3Fifo, SecondChance, SystemConfig, TransferOp,
+        ReplicaState, ReplicatedBackend, ReplicationConfig, ReplicationStats, RetryPolicy, S3Fifo,
+        SecondChance, SystemConfig, TransferOp,
     };
     pub use mage_fabric::{FaultPlan, TransferError};
     pub use mage_mmu::{CoreId, Topology};

@@ -303,6 +303,179 @@ fn retry_spans_appear_only_under_an_active_fault_plan() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Kill-a-node-mid-sweep battery: with page replication on, a memory-node
+// crash costs failover latency, never data. Every cell asserts
+//
+//   (a) zero lost pages — every VMA page resident or remote;
+//   (b) zero aborted faults and zero failed accesses — reads fail over
+//       to the surviving replica instead of exhausting retries;
+//   (c) every settled remote page keeps ≥ 1 synced/rebuilding replica;
+//   (d) the replica state machine was never violated.
+//
+// The replication-off sweeps above are untouched: unreplicated configs
+// take byte-identical code paths (pinned by tests/seams.rs goldens).
+// ---------------------------------------------------------------------
+
+struct ReplicatedOutcome {
+    failover_reads: u64,
+    rereplicated_pages: u64,
+    failed_accesses: u64,
+}
+
+/// One node-kill cell: two memory nodes with provably disjoint staggered
+/// crash windows, replication on, two access rounds over the WSS.
+fn replicated_chaos_run(
+    period_ns: u64,
+    duration_ns: u64,
+    plan_seed: u64,
+    seed: u64,
+    label: &str,
+) -> ReplicatedOutcome {
+    let nodes = 2usize;
+    let node_plans: Vec<FaultPlan> = (0..nodes)
+        .map(|i| FaultPlan::staggered_node_crash(plan_seed, i, nodes, period_ns, duration_ns))
+        .collect();
+    let retry = RetryPolicy {
+        max_retries: 2,
+        ..RetryPolicy::default()
+    };
+    let system = SystemConfig::mage_lib()
+        .with_node_faults(node_plans)
+        .with_replication(ReplicationConfig {
+            nodes,
+            repair_poll_ns: 10_000,
+        })
+        .with_retry(retry);
+    let sim = Simulation::new();
+    let params = MachineParams {
+        topo: Topology::single_socket(CORES),
+        app_threads: THREADS,
+        local_pages: 256,
+        remote_pages: 4_096,
+        tlb_entries: 64,
+        seed,
+    };
+    let engine = FarMemory::launch(sim.handle(), system, params);
+    let vma = engine.mmap(VMA_PAGES);
+    engine.populate(&vma);
+
+    let e = Rc::clone(&engine);
+    let v = vma.clone();
+    let failed_accesses = sim.block_on(async move {
+        let mut failed = 0u64;
+        for round in 0..2 {
+            for i in 0..v.pages {
+                let core = CoreId((i % THREADS as u64) as u32);
+                let access = e.access(core, v.start_vpn + i, round == 0).await;
+                if matches!(access, Access::Failed { .. }) {
+                    failed += 1;
+                }
+            }
+        }
+        failed
+    });
+    engine.shutdown();
+
+    // (a) Zero lost pages.
+    for i in 0..vma.pages {
+        let vpn = vma.start_vpn + i;
+        let pte = engine.page_table().get(vpn);
+        assert!(
+            pte.is_present() || pte.is_remote(),
+            "[{label} seed={seed}] page lost: vpn {vpn} neither resident nor remote"
+        );
+    }
+
+    // (b) Node crashes cost failover latency, never aborted faults.
+    let s = engine.stats();
+    assert_eq!(
+        s.aborted_faults.get(),
+        0,
+        "[{label} seed={seed}] a fault-in aborted despite replication"
+    );
+    assert_eq!(
+        failed_accesses, 0,
+        "[{label} seed={seed}] an access failed despite replication"
+    );
+
+    // (c) Every settled remote page keeps a live replica.
+    for i in 0..vma.pages {
+        let vpn = vma.start_vpn + i;
+        let pte = engine.page_table().get(vpn);
+        if pte.is_remote() && !pte.locked() {
+            let states = engine
+                .backend()
+                .replica_states(pte.payload())
+                .unwrap_or_else(|| {
+                    panic!("[{label} seed={seed}] untracked remote slot {}", pte.payload())
+                });
+            assert!(
+                states
+                    .iter()
+                    .any(|st| matches!(st, ReplicaState::Synced | ReplicaState::Rebuilding)),
+                "[{label} seed={seed}] vpn {vpn} has no live replica: {states:?}"
+            );
+        }
+    }
+
+    // (d) The replica state machine was obeyed throughout.
+    let rstats = engine
+        .backend()
+        .replication_stats()
+        .expect("replicated backend exposes repair stats");
+    assert_eq!(
+        rstats.illegal_transitions.get(),
+        0,
+        "[{label} seed={seed}] replica state machine violated"
+    );
+
+    ReplicatedOutcome {
+        failover_reads: s.failover_reads.get(),
+        rereplicated_pages: rstats.rereplicated_pages.get(),
+        failed_accesses,
+    }
+}
+
+/// The node-kill sweep: 4 outage geometries × 4 plan seeds × 4 engine
+/// seeds = 64 cells. Replication must hold every cell to zero lost pages
+/// and zero aborted faults, and the sweep as a whole must actually
+/// exercise failover and re-replication.
+#[test]
+fn node_kill_sweep_loses_nothing_with_replication() {
+    let geometries: [(&str, u64, u64); 4] = [
+        ("short-frequent", 400_000, 40_000),
+        ("long-rare", 1_000_000, 120_000),
+        ("mid", 600_000, 60_000),
+        ("tight", 300_000, 30_000),
+    ];
+    let mut cells = 0usize;
+    let mut failovers = 0u64;
+    let mut repairs = 0u64;
+    for (geo, period, duration) in geometries {
+        for plan_seed in 0..4u64 {
+            for seed in [5u64, 13, 23, 31] {
+                let label = format!("replicated/{geo}/pseed={plan_seed}");
+                let out =
+                    replicated_chaos_run(period, duration, 0x5EED ^ plan_seed, seed, &label);
+                failovers += out.failover_reads;
+                repairs += out.rereplicated_pages;
+                assert_eq!(out.failed_accesses, 0);
+                cells += 1;
+            }
+        }
+    }
+    assert!(cells >= 64, "sweep shrank to {cells} cells");
+    assert!(
+        failovers > 0,
+        "no read ever failed over across {cells} cells"
+    );
+    assert!(
+        repairs > 0,
+        "no page was ever re-replicated across {cells} cells"
+    );
+}
+
 /// Zero-amplitude plans take the clean fast path: no retries, no
 /// failures, no requeues, regardless of the plan seed.
 #[test]

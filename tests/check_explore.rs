@@ -127,13 +127,85 @@ fn broken_settlement_is_caught_and_shrunk() {
     println!("{line}");
 }
 
+/// Replicated cells survive exploration: the same oracles (plus the
+/// replica-coverage and replica-transition invariants) hold when every
+/// cell runs on a two-node [`ReplicatedBackend`] under staggered node
+/// crashes and schedule perturbation.
+#[test]
+fn replicated_cells_survive_exploration() {
+    let cells = Cell::sweep(12, 2);
+    let opts = CheckOptions {
+        replicate: true,
+        ..CheckOptions::default()
+    };
+    match explore(&cells, &opts, 16) {
+        ExploreOutcome::Clean { cells, major_faults, .. } => {
+            assert_eq!(cells, 12);
+            assert!(major_faults > 1_000, "got {major_faults} faults");
+        }
+        ExploreOutcome::Failed { original, shrunk } => panic!(
+            "replicated cell {original:?} violates '{}'; minimal repro:\n{}",
+            shrunk.violation,
+            shrunk.cell.repro_line()
+        ),
+    }
+}
+
+/// The planted skipped-backup-repair bug (`break_rereplication`) is
+/// caught by the ≥1-live-replica invariant under both the deterministic
+/// Fifo schedule and SeededRandom exploration, and shrinks to a one-line
+/// repro: after a backup replica is wiped and silently never repaired,
+/// the next outage of the *primary's* node leaves the page with zero
+/// live replicas.
+#[test]
+fn broken_rereplication_is_caught_and_shrunk() {
+    for policy in [PolicyKind::Fifo, PolicyKind::SeededRandom] {
+        let opts = CheckOptions {
+            wss_pages: 256,
+            local_pages: 96,
+            phases: 2,
+            replicate: true,
+            break_rereplication: true,
+            ..CheckOptions::default()
+        };
+        let cells = [Cell {
+            seed: 5,
+            plan: 0,
+            ops: 512,
+            threads: 4,
+            policy,
+        }];
+        let ExploreOutcome::Failed { original, shrunk } = explore(&cells, &opts, 24) else {
+            panic!("the skipped backup repair was not caught under {policy:?}");
+        };
+        assert_eq!(original, cells[0]);
+        assert_eq!(
+            shrunk.violation.name(),
+            "replica-unreachable",
+            "got {}",
+            shrunk.violation
+        );
+
+        // The minimal reproducer still fails the same way, and its repro
+        // command is a single line.
+        let replayed = run_cell(&shrunk.cell, &opts).unwrap_err();
+        assert_eq!(replayed.name(), "replica-unreachable");
+        let line = shrunk.cell.repro_line();
+        assert_eq!(line.lines().count(), 1, "repro must be one line");
+        assert!(line.starts_with("MAGE_CHECK_SEED="));
+        println!("[{}] {line}", policy.name());
+    }
+}
+
 /// Replays one cell from `MAGE_CHECK_*` environment variables — the
 /// target of every printed repro line. Without the variables it runs the
 /// default cell, so the test is meaningful in a plain suite run too.
 /// `MAGE_CHECK_BREAK` additionally enables a planted bug, for replaying
 /// the synthetic-bug demonstrations: `settlement` (or the historical
 /// `1`) resurrects the settlement double-count, `publish` the unlocked
-/// PTE re-publish that only the race detector can see.
+/// PTE re-publish that only the race detector can see, and
+/// `rereplication` the skipped backup repair (which also turns
+/// replication on, since the bug only exists there).
 #[test]
 fn replay_cell() {
     let cell = Cell::from_env().unwrap_or_default();
@@ -141,6 +213,8 @@ fn replay_cell() {
     let opts = CheckOptions {
         break_settlement: matches!(broken.as_deref(), Some("1") | Some("settlement")),
         break_publish: broken.as_deref() == Some("publish"),
+        replicate: broken.as_deref() == Some("rereplication"),
+        break_rereplication: broken.as_deref() == Some("rereplication"),
         ..CheckOptions::default()
     };
     match run_cell(&cell, &opts) {

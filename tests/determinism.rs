@@ -4,7 +4,7 @@
 //! whole evaluation rests on (and the one simlint + the deterministic
 //! executor exist to protect).
 
-use mage::{EvictionPolicyKind, PrefetchPolicy, RetryPolicy, SystemConfig};
+use mage::{EvictionPolicyKind, PrefetchPolicy, ReplicationConfig, RetryPolicy, SystemConfig};
 use mage_fabric::FaultPlan;
 use mage_workloads::runner::{run_batch, RunConfig, RunReport};
 use mage_workloads::WorkloadKind;
@@ -36,6 +36,9 @@ fn digest(r: &RunReport) -> Vec<u64> {
         r.requeued_victims,
         r.re_faults,
         r.ghost_hits,
+        r.failover_reads,
+        r.rereplicated_pages,
+        r.degraded_pages,
         r.executor_polls,
     ];
     d.extend(r.faults_per_thread.iter().copied());
@@ -143,6 +146,84 @@ fn different_fault_seeds_diverge() {
     let a = faulty_sweep(0xFA417);
     let b = faulty_sweep(0xFA418);
     assert_ne!(a, b, "different fault seeds must perturb the statistics");
+}
+
+/// One replicated sweep: MAGE-Lib on a two-node [`ReplicatedBackend`]
+/// under staggered per-node crash plans, two outage geometries, folded
+/// into a digest (which now carries the failover / re-replication
+/// counters). Returns the digest plus the total failovers and repairs so
+/// the tests can also pin that the counters were genuinely exercised.
+fn replicated_sweep(fault_seed: u64) -> (Vec<u64>, u64, u64) {
+    let mut out = Vec::new();
+    let (mut failovers, mut repairs) = (0u64, 0u64);
+    let nodes = 2usize;
+    for (period, duration) in [(400_000u64, 40_000u64), (600_000, 60_000)] {
+        let plans = (0..nodes)
+            .map(|i| {
+                // Aligned staggered windows are a pure function of the
+                // geometry (rate 1.0 never consults the seed), so the
+                // sweep folds the fault seed into the phase: both nodes
+                // shift together, outages stay disjoint, and a different
+                // seed genuinely moves every outage window.
+                let mut p =
+                    FaultPlan::staggered_node_crash(fault_seed, i, nodes, period, duration);
+                p.crash_phase_ns = p.crash_phase_ns.wrapping_add((fault_seed % 97) * 1_000);
+                p
+            })
+            .collect();
+        let mut s = SystemConfig::mage_lib()
+            .with_node_faults(plans)
+            .with_replication(ReplicationConfig {
+                nodes,
+                repair_poll_ns: 10_000,
+            })
+            .with_retry(RetryPolicy {
+                max_retries: 2,
+                ..RetryPolicy::default()
+            });
+        s.prefetch = PrefetchPolicy::None;
+        let mut cfg = RunConfig::new(s, WorkloadKind::Gups, 2, 2048, 0.5);
+        cfg.ops_per_thread = 500;
+        cfg.seed = 13;
+        let report = run_batch(&cfg);
+        failovers += report.failover_reads;
+        repairs += report.rereplicated_pages;
+        out.extend(digest(&report));
+    }
+    (out, failovers, repairs)
+}
+
+#[test]
+fn replicated_sweep_same_fault_seed_is_bit_identical() {
+    // Node crashes, monitor-lag failovers and background repairs must all
+    // be functions of the fault seed alone — including the new counters,
+    // which ride in the digest.
+    let (a, failovers, repairs) = replicated_sweep(0xFA417);
+    let (b, _, _) = replicated_sweep(0xFA417);
+    assert_eq!(
+        a, b,
+        "same fault seed must reproduce every replicated statistic bit-for-bit"
+    );
+    assert!(
+        repairs > 0,
+        "the sweep must exercise background re-replication"
+    );
+    assert!(
+        failovers + repairs > 0,
+        "the sweep must exercise the replication machinery"
+    );
+}
+
+#[test]
+fn replicated_sweep_different_fault_seeds_diverge() {
+    // The per-node crash plans must actually consume their seed: the
+    // outage windows (and hence failovers and repairs) move with it.
+    let (a, _, _) = replicated_sweep(0xFA417);
+    let (b, _, _) = replicated_sweep(0xFA418);
+    assert_ne!(
+        a, b,
+        "different fault seeds must perturb the replicated statistics"
+    );
 }
 
 #[test]
