@@ -92,6 +92,20 @@ test -s target/bench_policies_smoke.json || {
     exit 1
 }
 
+echo "==> scale smoke (terabyte-scale sparse-metadata harness, quick mode; validates BENCH_scale.json schema)"
+# Quick mode shrinks the per-point work but keeps the nominal capacities
+# at full scale (256 vcores, 2^26-page keyspace, 1M connections,
+# 2^40-page space), so any dense O(capacity) metadata regression fails
+# here. The committed BENCH_scale.json comes from a full run (see
+# EXPERIMENTS.md "Scale sweep"). The sparse regression test drives the
+# same property end to end through the engine and the batch runner.
+cargo test -q --release --test scale_sparse >/dev/null
+cargo run -q --release -p mage-bench --bin scale -- --quick --out target/bench_scale_smoke.json >/dev/null
+test -s target/bench_scale_smoke.json || {
+    echo "error: scale smoke did not produce target/bench_scale_smoke.json" >&2
+    exit 1
+}
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -8,6 +8,7 @@
 
 use mage::{IdealModel, SystemConfig};
 use mage_bench::{f2, scale, Experiment};
+use mage_mmu::Topology;
 use mage_workloads::runner::{run_batch, RunConfig};
 use mage_workloads::WorkloadKind;
 
@@ -22,6 +23,11 @@ fn storm(system: SystemConfig, threads: usize, with_eviction: bool) -> f64 {
     );
     cfg.all_remote = true;
     cfg.ops_per_thread = wss / threads as u64;
+    // Past the paper testbed's 56 cores, scale the dual-socket geometry
+    // up so the 128–256 virtual-core points keep the same NUMA shape.
+    if threads as u32 > cfg.topo.total_cores() {
+        cfg.topo = Topology::dual_socket(threads.div_ceil(2) as u32);
+    }
     let r = run_batch(&cfg);
     r.fault_mops()
 }
@@ -41,7 +47,10 @@ fn main() {
             "magelib_with_evict",
         ],
     );
-    for threads in [1usize, 2, 4, 8, 16, 24, 28, 32, 40, 48] {
+    // 64–256 extend past the paper's 48-thread testbed ceiling onto the
+    // scaled dual-socket geometry (the terabyte-scale/256-core sweep;
+    // see EXPERIMENTS.md "Scale sweep").
+    for threads in [1usize, 2, 4, 8, 16, 24, 28, 32, 40, 48, 64, 128, 256] {
         let mut cells = vec![threads.to_string()];
         for system in [
             SystemConfig::hermit(),

@@ -1,0 +1,67 @@
+//! Emits `BENCH_scale.json` at the repo root: the committed
+//! terabyte-scale/256-core scale trajectory (see
+//! `mage_bench::scale_bench`).
+//!
+//! ```sh
+//! cargo run --release -p mage-bench --bin scale            # full run
+//! cargo run --release -p mage-bench --bin scale -- --quick # smoke
+//! ```
+//!
+//! Flags:
+//! * `--quick` — scaled-down per-point work (CI smoke; the nominal
+//!   capacities — 256 vcores, 2^26-page keyspace, million connections,
+//!   2^40-page space — stay at full scale).
+//! * `--out <path>` — output path (default: `<repo>/BENCH_scale.json`).
+
+use std::path::{Path, PathBuf};
+
+use mage_bench::scale_bench::{render_json, run_scale, validate_report};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("mage-bench lives at <workspace>/crates/bench")
+        .to_path_buf()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            other => {
+                eprintln!("scale: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let out_path = out_path.unwrap_or_else(|| workspace_root().join("BENCH_scale.json"));
+
+    eprintln!(
+        "scale: running {} scale points...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = run_scale(quick);
+    let json = render_json(&report);
+    validate_report(&json).expect("emitted report must hold the O(touched) metadata bound");
+    std::fs::write(&out_path, &json).expect("write BENCH_scale.json");
+
+    for p in &report.points {
+        eprintln!(
+            "  {:26} {:>16} cap  {:>9} touched  {:>9} meta  {:>9.1} ms  {:>12.0} events/s  {:>9} KiB peak",
+            p.id,
+            p.capacity_pages,
+            p.touched_pages,
+            p.metadata_entries,
+            p.wall_ms,
+            p.events_per_sec(),
+            p.peak_rss_kb,
+        );
+    }
+    eprintln!("scale: -> {}", out_path.display());
+    print!("{json}");
+}

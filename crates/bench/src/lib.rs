@@ -12,6 +12,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 pub mod hotloop;
+pub mod scale_bench;
 
 /// Collects one experiment's rows and emits table + CSV.
 pub struct Experiment {

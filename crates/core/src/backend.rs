@@ -32,6 +32,7 @@ use std::rc::Rc;
 use mage_fabric::{Completion, MemoryNode, Nic, NicConfig, NodeId};
 use mage_mmu::PAGE_SIZE;
 use mage_palloc::{RemoteAllocator, SwapBitmap};
+use mage_sim::slab::PageMap;
 use mage_sim::stats::Counter;
 use mage_sim::time::Nanos;
 use mage_sim::SimHandle;
@@ -120,6 +121,14 @@ pub trait FarBackend {
     /// Number of tracked slots currently carrying at least one degraded
     /// replica (always 0 for unreplicated backends).
     fn degraded_pages(&self) -> u64 {
+        0
+    }
+
+    /// Number of slots the backend currently tracks replica state for
+    /// (always 0 for unreplicated backends). Host metadata must stay
+    /// proportional to this — touched slots — never to the largest slot
+    /// number; the sparse-space regression tests assert it.
+    fn replica_entries(&self) -> u64 {
         0
     }
 
@@ -228,7 +237,11 @@ impl RdmaBackend {
                 cfg.faults.clone(),
                 cfg.node_faults.clone(),
             )),
-            node: MemoryNode::new(remote_pages * PAGE_SIZE),
+            node: MemoryNode::new(
+                remote_pages
+                    .checked_mul(PAGE_SIZE)
+                    .expect("remote capacity (remote_pages * PAGE_SIZE) overflows u64"),
+            ),
             slots,
         }
     }
@@ -309,7 +322,11 @@ impl DisaggTier {
                 cfg.faults.clone(),
                 cfg.node_faults.clone(),
             )),
-            node: MemoryNode::new(remote_pages * PAGE_SIZE),
+            node: MemoryNode::new(
+                remote_pages
+                    .checked_mul(PAGE_SIZE)
+                    .expect("remote capacity (remote_pages * PAGE_SIZE) overflows u64"),
+            ),
             // Pool-side slot table: cheap (the tier's controller owns it),
             // but a real allocation nonetheless.
             slots: SwapBitmap::new(sim, remote_pages, cfg.costs.swap_slot_ns / 4),
@@ -355,12 +372,22 @@ impl FarBackend for DisaggTier {
     }
 }
 
-/// Shared replica bookkeeping of [`ReplicatedBackend`]: a slot-indexed
-/// table (slab, not an ordered map — `rpn` is dense) of per-replica
-/// states plus the replication counters.
+/// Shared replica bookkeeping of [`ReplicatedBackend`]: a sparse
+/// rpn-keyed [`PageMap`] of per-replica states plus the replication
+/// counters.
+///
+/// Sparse on purpose: with VMA-direct mapping the slot number *is* the
+/// remote page number, so a single access to a high vpn produces a high
+/// rpn — a dense `Vec` indexed by rpn (the previous representation)
+/// would resize to the max touched rpn and allocate gigabytes of `None`s
+/// for one page. The map costs O(tracked slots) instead. Iteration
+/// (crash marks, repair scans) is over [`PageMap::iter_sorted`] —
+/// explicitly ascending-rpn, matching the old dense-vector index order —
+/// because repair order is part of the deterministic schedule and must
+/// not depend on hash-bucket layout.
 struct ReplicaTable {
     nodes: u32,
-    states: RefCell<Vec<Option<[ReplicaState; 2]>>>,
+    states: RefCell<PageMap<[ReplicaState; 2]>>,
     stats: ReplicationStats,
     stop: Cell<bool>,
     break_rereplication: bool,
@@ -375,7 +402,7 @@ impl ReplicaTable {
     }
 
     fn get(&self, rpn: u64) -> Option<[ReplicaState; 2]> {
-        self.states.borrow().get(rpn as usize).copied().flatten()
+        self.states.borrow().get(rpn).copied()
     }
 
     /// Starts tracking `rpn` with `init` states; keeps existing states if
@@ -383,19 +410,16 @@ impl ReplicaTable {
     /// slot across evict/fault cycles and its remote copies stay valid).
     fn track(&self, rpn: u64, init: [ReplicaState; 2]) {
         let mut states = self.states.borrow_mut();
-        let idx = rpn as usize;
-        if idx >= states.len() {
-            states.resize(idx + 1, None);
-        }
-        if states[idx].is_none() {
-            states[idx] = Some(init);
-        }
+        states.get_or_insert_with(rpn, || init);
     }
 
     fn untrack(&self, rpn: u64) {
-        if let Some(entry) = self.states.borrow_mut().get_mut(rpn as usize) {
-            *entry = None;
-        }
+        self.states.borrow_mut().remove(rpn);
+    }
+
+    /// Slots currently tracked (the table's entire host footprint).
+    fn entries(&self) -> u64 {
+        self.states.borrow().len() as u64
     }
 
     /// Legality-checked state write; same-state writes are no-ops. All
@@ -403,7 +427,7 @@ impl ReplicaTable {
     /// oracle can read `illegal_transitions` as "the machine was obeyed".
     fn set(&self, rpn: u64, slot: usize, to: ReplicaState) {
         let mut states = self.states.borrow_mut();
-        let Some(Some(entry)) = states.get_mut(rpn as usize) else {
+        let Some(entry) = states.get_mut(rpn) else {
             return;
         };
         let from = entry[slot];
@@ -432,15 +456,16 @@ impl ReplicaTable {
 
     /// Marks every Synced/Rebuilding replica homed on `node` as Degraded:
     /// memory nodes are volatile, so an outage wipes what they held.
+    /// Iterates in ascending-rpn order ([`PageMap::iter_sorted`]): mark
+    /// order feeds the stats counters and must stay deterministic.
     fn degrade_node(&self, node: NodeId) {
         let mut marks = Vec::new();
         {
             let states = self.states.borrow();
-            for (idx, entry) in states.iter().enumerate() {
-                let Some(s) = entry else { continue };
+            for (rpn, s) in states.iter_sorted() {
                 for (slot, st) in s.iter().enumerate() {
-                    if self.home(idx as u64, slot) == node && *st != ReplicaState::Degraded {
-                        marks.push((idx as u64, slot));
+                    if self.home(rpn, slot) == node && *st != ReplicaState::Degraded {
+                        marks.push((rpn, slot));
                     }
                 }
             }
@@ -455,11 +480,15 @@ impl ReplicaTable {
     /// The planted `break_rereplication` bug silently skips backup-slot
     /// repairs — exactly the "works until the other node also blinks"
     /// failure the ≥1-synced-replica invariant exists to catch.
+    /// Repair order is part of the schedule: the scan walks tracked
+    /// slots in ascending-rpn order ([`PageMap::iter_sorted`]) — the
+    /// same order the old dense vector's index walk produced — so the
+    /// repair batch (and every completion it awaits) is a pure function
+    /// of the tracked set, never of hash-bucket layout.
     fn scan_repairs(&self, nic: &Nic) -> Vec<(u64, usize)> {
         let states = self.states.borrow();
         let mut out = Vec::new();
-        for (idx, entry) in states.iter().enumerate() {
-            let Some(s) = entry else { continue };
+        for (rpn, s) in states.iter_sorted() {
             if !s.contains(&ReplicaState::Synced) {
                 continue;
             }
@@ -470,8 +499,8 @@ impl ReplicaTable {
                 if self.break_rereplication && slot == 1 {
                     continue;
                 }
-                if nic.node_reachable(self.home(idx as u64, slot)) {
-                    out.push((idx as u64, slot));
+                if nic.node_reachable(self.home(rpn, slot)) {
+                    out.push((rpn, slot));
                 }
             }
         }
@@ -481,9 +510,9 @@ impl ReplicaTable {
     fn degraded_pages(&self) -> u64 {
         self.states
             .borrow()
+            .iter_sorted()
             .iter()
-            .flatten()
-            .filter(|s| s.contains(&ReplicaState::Degraded))
+            .filter(|(_, s)| s.contains(&ReplicaState::Degraded))
             .count() as u64
     }
 }
@@ -565,7 +594,7 @@ impl ReplicatedBackend {
     ) -> Self {
         let table = Rc::new(ReplicaTable {
             nodes: cfg.nodes.max(2) as u32,
-            states: RefCell::new(Vec::new()),
+            states: RefCell::new(PageMap::new()),
             stats: ReplicationStats::default(),
             stop: Cell::new(false),
             break_rereplication,
@@ -703,6 +732,10 @@ impl FarBackend for ReplicatedBackend {
 
     fn degraded_pages(&self) -> u64 {
         self.table.degraded_pages()
+    }
+
+    fn replica_entries(&self) -> u64 {
+        self.table.entries()
     }
 
     fn shutdown(&self) {

@@ -419,13 +419,16 @@ impl FarMemory {
 
     /// Maps a new region of `pages` pages.
     pub fn mmap(&self, pages: u64) -> Vma {
+        let bytes = pages
+            .checked_mul(PAGE_SIZE)
+            .expect("mmap size (pages * PAGE_SIZE) overflows u64");
         let vma = self.asp.borrow_mut().mmap(pages);
         let registered = self
             .backend
             .node()
-            .register(pages * PAGE_SIZE, true)
+            .register(bytes, true)
             .expect("memory node capacity exceeded");
-        debug_assert!(registered.len >= pages * PAGE_SIZE);
+        debug_assert!(registered.len >= bytes);
         vma
     }
 
@@ -460,6 +463,19 @@ impl FarMemory {
                 self.emit(PageEvent::Placed { vpn, local: false });
             }
         }
+    }
+
+    /// Leaves the region unpopulated: no page-table paths, frames or
+    /// remote slots are created until a page is first touched, when the
+    /// fault path zero-fills it (installing it present and dirty, like a
+    /// fresh anonymous mapping). This is the honest setup for
+    /// terabyte-scale regions — host metadata stays O(touched pages)
+    /// because every per-page structure on the touch path is sparse —
+    /// and it deliberately does nothing: the method exists so callers
+    /// state the choice explicitly instead of silently skipping
+    /// [`populate`](Self::populate).
+    pub fn populate_lazy(&self, vma: &Vma) {
+        let _ = vma;
     }
 
     /// Places every page of the region in far memory regardless of local

@@ -5,7 +5,7 @@
 //! structured entirely around the unmap → shootdown → writeback → reclaim
 //! ordering. This crate models that plumbing:
 //!
-//! - [`pagetable::PageTable`] — a 4-level radix page table with x86-style
+//! - [`pagetable::PageTable`] — a 5-level radix page table with x86-style
 //!   PTE bits (present/accessed/dirty/locked/remote),
 //! - [`tlb::Tlb`] — per-core translation caches, used both for hit
 //!   accounting and for checking the *stale-translation safety invariant*

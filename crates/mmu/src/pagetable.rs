@@ -1,7 +1,12 @@
-//! A 4-level radix page table with x86-style PTE bits.
+//! A 5-level radix page table with x86-style PTE bits.
 //!
-//! The table covers a 48-bit virtual address space (36-bit virtual page
-//! numbers) with 9 bits per level, like x86-64. PTEs are 64-bit words:
+//! The table covers a 57-bit virtual address space (45-bit virtual page
+//! numbers) with 9 bits per level, like x86-64 with LA57. Five levels
+//! (rather than the classic four) let terabyte-scale simulated address
+//! spaces — a 2^40-page VMA is 4 PiB of simulated memory — map without
+//! touching the radix geometry; paths are still allocated lazily, so
+//! host cost is O(touched pages), never O(address-space span). PTEs are
+//! 64-bit words:
 //!
 //! ```text
 //!  63           12 11        5  4      3      2     1        0
@@ -55,7 +60,9 @@ pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 
 const LEVEL_BITS: u32 = 9;
 const FANOUT: usize = 1 << LEVEL_BITS;
-const MAX_VPN: u64 = 1 << (4 * LEVEL_BITS);
+/// Radix depth (interior levels + the leaf level), LA57-style.
+const LEVELS: u32 = 5;
+const MAX_VPN: u64 = 1 << (LEVELS * LEVEL_BITS);
 
 /// A page-table entry.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -136,7 +143,7 @@ impl Pte {
     }
 }
 
-/// A 4-level radix page table (arena-backed).
+/// A 5-level radix page table (arena-backed).
 ///
 /// # Examples
 ///
@@ -185,36 +192,52 @@ impl PageTable {
     }
 
     fn slot(vpn: u64, level: u32) -> usize {
-        ((vpn >> (LEVEL_BITS * (3 - level))) & (FANOUT as u64 - 1)) as usize
+        ((vpn >> (LEVEL_BITS * (LEVELS - 1 - level))) & (FANOUT as u64 - 1)) as usize
+    }
+
+    /// Encodes a freshly pushed arena index as a non-zero child-slot
+    /// value. Slots are 32-bit and reserve 0 for "empty", so the arena
+    /// holds at most `u32::MAX` nodes; past that the old `as u32 + 1`
+    /// cast silently wrapped and corrupted the radix — fail loudly
+    /// instead.
+    fn child_link(idx: usize) -> u32 {
+        match u32::try_from(idx) {
+            Ok(i) if i < u32::MAX => i + 1,
+            _ => panic!(
+                "page-table arena overflow: node index {idx} exceeds the \
+                 {}-node limit of the 32-bit child-slot encoding",
+                u32::MAX
+            ),
+        }
     }
 
     /// Finds the leaf holding `vpn`, optionally creating the path.
     fn leaf_of(&self, vpn: u64, create: bool) -> Option<(usize, usize)> {
-        assert!(vpn < MAX_VPN, "vpn {vpn:#x} exceeds 48-bit address space");
+        assert!(vpn < MAX_VPN, "vpn {vpn:#x} exceeds 57-bit address space");
         let mut interior = self.interior.borrow_mut();
         let mut node = 0usize;
-        for level in 0..3u32 {
+        for level in 0..LEVELS - 1 {
             let slot = Self::slot(vpn, level);
             let child = interior[node][slot];
             let next = if child != 0 {
                 (child - 1) as usize
             } else if !create {
                 return None;
-            } else if level < 2 {
+            } else if level < LEVELS - 2 {
                 interior.push([0; FANOUT]);
                 let idx = interior.len() - 1;
-                interior[node][slot] = idx as u32 + 1;
+                interior[node][slot] = Self::child_link(idx);
                 idx
             } else {
                 let mut leaves = self.leaves.borrow_mut();
                 leaves.push([0; FANOUT]);
                 let idx = leaves.len() - 1;
-                interior[node][slot] = idx as u32 + 1;
+                interior[node][slot] = Self::child_link(idx);
                 idx
             };
             node = next;
         }
-        Some((node, Self::slot(vpn, 3)))
+        Some((node, Self::slot(vpn, LEVELS - 1)))
     }
 
     /// Reads the entry for `vpn` ([`Pte::NONE`] if the path is absent).
@@ -378,7 +401,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds 48-bit address space")]
+    #[should_panic(expected = "exceeds 57-bit address space")]
     fn oversized_vpn_panics() {
         PageTable::new().get(MAX_VPN);
     }
@@ -389,10 +412,36 @@ mod tests {
         for vpn in 0..10_000u64 {
             pt.set(vpn, Pte::present(vpn));
         }
-        // 10k consecutive pages need ~20 leaves + 3 interior nodes.
+        // 10k consecutive pages need ~20 leaves + 4 interior nodes.
         assert!(pt.node_count() < 30, "nodes: {}", pt.node_count());
         for vpn in (0..10_000u64).step_by(997) {
             assert_eq!(pt.get(vpn).payload(), vpn);
+        }
+    }
+
+    #[test]
+    fn scattered_pages_cost_o_touched_nodes() {
+        // ~1k pages scattered over the full 2^45-vpn space: the radix
+        // must allocate one path per touched page at most, never
+        // anything proportional to the address-space span.
+        let pt = PageTable::new();
+        let touched = 1_000u64;
+        for i in 0..touched {
+            // Golden-ratio stride modulo the vpn space scatters across
+            // every level's slots.
+            let vpn = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % MAX_VPN;
+            pt.set(vpn, Pte::present(i));
+        }
+        // Worst case: LEVELS-1 fresh nodes per page (shared root).
+        let bound = 1 + touched as usize * (LEVELS as usize - 1);
+        assert!(
+            pt.node_count() <= bound,
+            "nodes {} exceed O(touched) bound {bound}",
+            pt.node_count()
+        );
+        for i in (0..touched).step_by(97) {
+            let vpn = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % MAX_VPN;
+            assert_eq!(pt.get(vpn).payload(), i);
         }
     }
 }

@@ -41,6 +41,16 @@ impl Topology {
         }
     }
 
+    /// A dual-socket machine with `cores_per_socket` cores per socket:
+    /// the paper's NUMA geometry scaled up, used by the 128–256
+    /// virtual-core sweeps (cross-socket IPI costs stay in the model).
+    pub fn dual_socket(cores_per_socket: u32) -> Self {
+        Topology {
+            sockets: 2,
+            cores_per_socket,
+        }
+    }
+
     /// Total number of cores.
     pub fn total_cores(&self) -> u32 {
         self.sockets * self.cores_per_socket

@@ -35,6 +35,26 @@ pub struct BuddyAllocator {
     /// This is a cold path relative to the per-core caches in
     /// [`crate::local`], which absorb the hot alloc/free traffic.
     free_lists: Vec<BTreeSet<u64>>,
+    /// Frontier of the *pristine run*: the never-touched max-order blocks
+    /// `[pristine_next, pristine_end)` that construction left
+    /// unmaterialized. Construction used to eagerly insert every aligned
+    /// block of `[0, nframes)` — O(capacity) host work and memory, which
+    /// at terabyte-scale simulated DRAM dominated setup. The run is
+    /// consumed lazily, in ascending base order, only when `alloc` needs
+    /// a max-order block the materialized set cannot provide; blocks in
+    /// it count as free the whole time.
+    ///
+    /// Determinism/bit-identity argument (the seam goldens pin the exact
+    /// frame sequence): every materialized max-order entry has a base
+    /// below `pristine_next` — entries come either from construction's
+    /// tail decomposition (bases ≥ `pristine_end` can never coalesce to
+    /// max order, since `pristine_end + 2^MAX_ORDER > nframes`) or from
+    /// frees of previously allocated blocks, and any allocated base lies
+    /// below the frontier at its alloc time. So "min of the set, else
+    /// the frontier block" is exactly the global smallest free base the
+    /// eager representation would have picked.
+    pristine_next: u64,
+    pristine_end: u64,
     /// Outstanding allocations (base → order), for exact double-free
     /// detection. Pure point lookups, so an open-addressed [`PageMap`]
     /// suffices: a base can be outstanding at only one order at a time.
@@ -44,29 +64,59 @@ pub struct BuddyAllocator {
 
 impl BuddyAllocator {
     /// Creates an allocator managing frames `0..nframes`, all free.
+    ///
+    /// O(1) in `nframes`: the aligned max-order run `[0, pristine_end)`
+    /// is represented by the pristine frontier, and only the tail
+    /// `[pristine_end, nframes)` — at most one block per order — is
+    /// materialized eagerly.
     pub fn new(nframes: u64) -> Self {
+        let pristine_end = nframes & !((1u64 << MAX_ORDER) - 1);
         let mut b = BuddyAllocator {
             nframes,
             free_lists: (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect(),
+            pristine_next: 0,
+            pristine_end,
             outstanding: PageMap::new(),
-            free_frames: 0,
+            free_frames: nframes,
         };
-        // Seed with maximal aligned blocks covering [0, nframes).
-        let mut base = 0;
+        // Seed the sub-max-order tail with maximal aligned blocks.
+        let mut base = pristine_end;
         while base < nframes {
             let mut order = MAX_ORDER;
             loop {
                 let size = 1u64 << order;
-                if base % size == 0 && base + size <= nframes {
+                if base.is_multiple_of(size) && base + size <= nframes {
                     break;
                 }
                 order -= 1;
             }
+            debug_assert!(order < MAX_ORDER, "tail blocks are sub-max-order");
             b.free_lists[order as usize].insert(base);
-            b.free_frames += 1 << order;
             base += 1 << order;
         }
         b
+    }
+
+    /// Whether any free block of exactly `order` exists (materialized or
+    /// pristine).
+    fn has_free_at(&self, order: u32) -> bool {
+        !self.free_lists[order as usize].is_empty()
+            || (order == MAX_ORDER && self.pristine_next < self.pristine_end)
+    }
+
+    /// Takes the smallest free base at `order`, preferring the
+    /// materialized set (whose max-order entries always lie below the
+    /// pristine frontier — see the `pristine_next` invariant).
+    fn take_smallest(&mut self, order: u32) -> u64 {
+        if let Some(&base) = self.free_lists[order as usize].first() {
+            self.free_lists[order as usize].remove(&base);
+            return base;
+        }
+        debug_assert_eq!(order, MAX_ORDER, "only max order can be pristine");
+        let base = self.pristine_next;
+        debug_assert!(base < self.pristine_end, "pristine run exhausted");
+        self.pristine_next += 1 << MAX_ORDER;
+        base
     }
 
     /// Number of currently free frames.
@@ -79,16 +129,22 @@ impl BuddyAllocator {
         self.nframes
     }
 
+    /// Host-side metadata entries currently held: materialized free-list
+    /// blocks plus outstanding-allocation records. The pristine run costs
+    /// two words however large it is, so right after construction this is
+    /// O(1) in `nframes` — the scale bench and the sparse-space
+    /// regression read it to pin O(touched) behaviour.
+    pub fn metadata_entries(&self) -> u64 {
+        self.free_lists.iter().map(|l| l.len() as u64).sum::<u64>() + self.outstanding.len() as u64
+    }
+
     /// Allocates a block of `2^order` frames, returning its base frame.
     pub fn alloc(&mut self, order: u32) -> Option<u64> {
         assert!(order <= MAX_ORDER, "order {order} too large");
         // Find the smallest available order >= requested.
-        let found = (order..=MAX_ORDER).find(|&o| !self.free_lists[o as usize].is_empty())?;
+        let found = (order..=MAX_ORDER).find(|&o| self.has_free_at(o))?;
         // Deterministic choice: smallest base in that order.
-        let base = *self.free_lists[found as usize]
-            .first()
-            .expect("non-empty list");
-        self.free_lists[found as usize].remove(&base);
+        let base = self.take_smallest(found);
         // Split down to the requested order, returning upper halves.
         let mut o = found;
         while o > order {
@@ -162,6 +218,146 @@ mod tests {
         for n in [1u64, 7, 64, 1000, 4096] {
             let b = BuddyAllocator::new(n);
             assert_eq!(b.free_frames(), n, "nframes {n}");
+        }
+    }
+
+    #[test]
+    fn construction_is_o1_even_for_terabyte_pools() {
+        // 2^38 frames = 1 PiB of simulated DRAM: the pristine run makes
+        // construction O(1), an unaligned tail contributes at most one
+        // block per sub-max order, and the pool is still fully usable.
+        let unaligned = BuddyAllocator::new((1u64 << 38) + 777);
+        assert_eq!(unaligned.free_frames(), (1u64 << 38) + 777);
+        assert!(
+            unaligned.metadata_entries() <= MAX_ORDER as u64,
+            "construction must not materialize the whole pool: {} entries",
+            unaligned.metadata_entries()
+        );
+        // Aligned pool: frames come out smallest-base-first across the
+        // pristine frontier (an unaligned pool's sub-max tail blocks
+        // legitimately win the low-order search first, as they always
+        // did under eager seeding).
+        let n = 1u64 << 38;
+        let mut b = BuddyAllocator::new(n);
+        assert_eq!(b.free_frames(), n);
+        assert_eq!(b.metadata_entries(), 0);
+        assert_eq!(b.alloc(0), Some(0));
+        assert_eq!(b.alloc(MAX_ORDER), Some(1 << MAX_ORDER));
+        b.free(0, 0);
+        assert_eq!(b.alloc(0), Some(0));
+    }
+
+    /// The eager-seeded allocator this module used to build: every
+    /// maximal aligned block of `[0, nframes)` materialized up front.
+    /// The lazy pristine-run representation must be observationally
+    /// identical — same bases from `alloc`, same `None`s, same free
+    /// count — under any interleaving, because the seam goldens pin the
+    /// exact frame sequence.
+    struct EagerRef {
+        nframes: u64,
+        free_lists: Vec<BTreeSet<u64>>,
+        free_frames: u64,
+    }
+
+    impl EagerRef {
+        fn new(nframes: u64) -> Self {
+            let mut r = EagerRef {
+                nframes,
+                free_lists: (0..=MAX_ORDER).map(|_| BTreeSet::new()).collect(),
+                free_frames: 0,
+            };
+            let mut base = 0;
+            while base < nframes {
+                let mut order = MAX_ORDER;
+                loop {
+                    let size = 1u64 << order;
+                    if base.is_multiple_of(size) && base + size <= nframes {
+                        break;
+                    }
+                    order -= 1;
+                }
+                r.free_lists[order as usize].insert(base);
+                r.free_frames += 1 << order;
+                base += 1 << order;
+            }
+            r
+        }
+
+        fn alloc(&mut self, order: u32) -> Option<u64> {
+            let found =
+                (order..=MAX_ORDER).find(|&o| !self.free_lists[o as usize].is_empty())?;
+            let base = *self.free_lists[found as usize].first().expect("non-empty");
+            self.free_lists[found as usize].remove(&base);
+            let mut o = found;
+            while o > order {
+                o -= 1;
+                self.free_lists[o as usize].insert(base + (1u64 << o));
+            }
+            self.free_frames -= 1 << order;
+            Some(base)
+        }
+
+        fn free(&mut self, base: u64, order: u32) {
+            let freed = 1u64 << order;
+            let mut base = base;
+            let mut order = order;
+            while order < MAX_ORDER {
+                let buddy = base ^ (1u64 << order);
+                if buddy + (1 << order) > self.nframes
+                    || !self.free_lists[order as usize].remove(&buddy)
+                {
+                    break;
+                }
+                base = base.min(buddy);
+                order += 1;
+            }
+            self.free_lists[order as usize].insert(base);
+            self.free_frames += freed;
+        }
+    }
+
+    #[test]
+    fn lazy_seeding_matches_eager_reference_bit_for_bit() {
+        // Pool sizes straddling the max-order boundary: aligned, with a
+        // mixed-order tail, smaller than one max-order block, and large
+        // enough that allocation crosses the pristine frontier repeatedly.
+        for n in [1000u64, 1024, 1026, 3000, 4096, 5333, 8192] {
+            for seed in 0..32u64 {
+                let rng = SplitMix64::new(0x5EED_BA5E ^ seed);
+                let mut lazy = BuddyAllocator::new(n);
+                let mut eager = EagerRef::new(n);
+                let mut held: Vec<(u64, u32)> = Vec::new();
+                for step in 0..400 {
+                    assert_eq!(
+                        lazy.free_frames(),
+                        eager.free_frames,
+                        "free count diverged (n {n} seed {seed} step {step})"
+                    );
+                    if rng.next_below(3) < 2 || held.is_empty() {
+                        let order = rng.next_below(MAX_ORDER as u64 + 1) as u32;
+                        let a = lazy.alloc(order);
+                        let b = eager.alloc(order);
+                        assert_eq!(
+                            a, b,
+                            "alloc(order {order}) diverged (n {n} seed {seed} step {step})"
+                        );
+                        if let Some(base) = a {
+                            held.push((base, order));
+                        }
+                    } else {
+                        let idx = rng.next_below(held.len() as u64) as usize;
+                        let (base, order) = held.swap_remove(idx);
+                        lazy.free(base, order);
+                        eager.free(base, order);
+                    }
+                }
+                for (base, order) in held {
+                    lazy.free(base, order);
+                    eager.free(base, order);
+                }
+                assert_eq!(lazy.free_frames(), n);
+                assert_eq!(eager.free_frames, n);
+            }
         }
     }
 

@@ -14,6 +14,7 @@ use std::rc::Rc;
 use mage::{FarMemory, MachineParams, SystemConfig};
 use mage_mmu::{CoreId, Topology};
 use mage_sim::rng::SplitMix64;
+use mage_sim::slab::PageMap;
 use mage_sim::stats::{Counter, Histogram};
 use mage_sim::sync::WaitQueue;
 use mage_sim::time::{Nanos, SimTime};
@@ -44,6 +45,17 @@ pub struct MemcachedConfig {
     pub service_ns: Nanos,
     /// Seed.
     pub seed: u64,
+    /// Simulated client connections. Each request is attributed to a
+    /// connection (activity is Zipf-skewed, like key popularity — most
+    /// connections are mostly idle), and per-connection bookkeeping is
+    /// sparse, so millions of simulated connections cost the host only
+    /// the connections that were actually active in the window.
+    pub connections: u64,
+    /// Skip KV-store population: pages zero-fill on first touch, making
+    /// setup O(1) so the store can span hundreds of simulated GiB. The
+    /// ≥256 GiB scale scenario uses this; classic runs populate eagerly
+    /// to model a pre-warmed store.
+    pub lazy_populate: bool,
 }
 
 impl MemcachedConfig {
@@ -60,6 +72,8 @@ impl MemcachedConfig {
             zipf_theta: 0.99,
             service_ns: 1_500,
             seed: 42,
+            connections: 1_000_000,
+            lazy_populate: false,
         }
     }
 }
@@ -89,6 +103,20 @@ pub struct MemcachedReport {
     pub free_wait_max_ns: u64,
     /// Faults that waited on a page mid-eviction or mid-fault.
     pub page_lock_waits: u64,
+    /// Distinct connections that issued at least one request (host
+    /// bookkeeping is proportional to this, not to
+    /// [`MemcachedConfig::connections`]).
+    pub active_connections: u64,
+    /// Distinct KV pages requested during the run (host metadata is
+    /// proportional to this, not to [`MemcachedConfig::data_pages`]).
+    pub touched_pages: u64,
+    /// Page-table nodes allocated by the end of the run.
+    pub pt_nodes: u64,
+    /// Executor task polls the run performed (the deterministic event
+    /// count; the scale bench's events/sec numerator).
+    pub executor_polls: u64,
+    /// Final virtual time of the run, ns.
+    pub runtime_ns: u64,
 }
 
 struct WorkerQueue {
@@ -119,7 +147,11 @@ pub fn run_memcached(cfg: &MemcachedConfig) -> MemcachedReport {
     };
     let engine = FarMemory::launch(sim.handle(), cfg.system.clone(), params);
     let vma = engine.mmap(cfg.data_pages);
-    engine.populate(&vma);
+    if cfg.lazy_populate {
+        engine.populate_lazy(&vma);
+    } else {
+        engine.populate(&vma);
+    }
 
     let queues: Vec<Rc<WorkerQueue>> = (0..cfg.workers)
         .map(|_| {
@@ -163,7 +195,12 @@ pub fn run_memcached(cfg: &MemcachedConfig) -> MemcachedReport {
         });
     }
 
-    // Load generator.
+    // Load generator. Connection attribution and touched-page tracking
+    // are sparse PageMaps: the host pays for *active* connections and
+    // *requested* pages, so the config can claim millions of connections
+    // over a multi-hundred-GiB store without dense bookkeeping.
+    let conn_seen: Rc<RefCell<PageMap<u32>>> = Rc::new(RefCell::new(PageMap::new()));
+    let page_seen: Rc<RefCell<PageMap<()>>> = Rc::new(RefCell::new(PageMap::new()));
     {
         let h = sim.handle();
         let queues = queues.clone();
@@ -173,8 +210,16 @@ pub fn run_memcached(cfg: &MemcachedConfig) -> MemcachedReport {
         let duration = cfg.duration_ns;
         let get_ratio = cfg.get_ratio;
         let seed = cfg.seed;
+        let connections = cfg.connections.max(1);
+        let conn_seen = Rc::clone(&conn_seen);
+        let page_seen = Rc::clone(&page_seen);
         sim.spawn(async move {
             let rng = SplitMix64::new(seed);
+            // Separate stream for connection attribution, so the request
+            // schedule (gaps, keys, GET/SET mix) is a function of `seed`
+            // alone regardless of the connection-count knob.
+            let conn_rng = SplitMix64::new(seed ^ 0xC0_77EC_7104);
+            let conn_zipf = (connections > 1).then(|| Zipf::new(connections, 0.99));
             let mut next_worker = 0usize;
             while h.now().as_nanos() < duration {
                 let u = rng.next_f64();
@@ -182,6 +227,14 @@ pub fn run_memcached(cfg: &MemcachedConfig) -> MemcachedReport {
                 h.sleep(gap).await;
                 let page = zipf.sample(&rng);
                 let write = rng.next_f64() >= get_ratio;
+                // Zipf-ranked connection activity, scattered over the id
+                // space so hot connections are not adjacent ids.
+                let conn = match &conn_zipf {
+                    Some(z) => mage_sim::rng::mix64(z.sample(&conn_rng)) % connections,
+                    None => 0,
+                };
+                *conn_seen.borrow_mut().get_or_insert_with(conn, || 0) += 1;
+                page_seen.borrow_mut().get_or_insert_with(page, || ());
                 let q = &queues[next_worker];
                 next_worker = (next_worker + 1) % queues.len();
                 q.requests.borrow_mut().push_back((h.now(), page, write));
@@ -200,6 +253,8 @@ pub fn run_memcached(cfg: &MemcachedConfig) -> MemcachedReport {
     sim.block_on(async move { h.sleep(drain).await });
     engine.shutdown();
 
+    let active_connections = conn_seen.borrow().len() as u64;
+    let touched_pages = page_seen.borrow().len() as u64;
     MemcachedReport {
         offered_mops: cfg.load_mops,
         achieved_mops: completed.get() as f64 * 1e3 / cfg.duration_ns as f64,
@@ -218,6 +273,11 @@ pub fn run_memcached(cfg: &MemcachedConfig) -> MemcachedReport {
             fw.max()
         },
         page_lock_waits: engine.stats().page_lock_waits.get(),
+        active_connections,
+        touched_pages,
+        pt_nodes: engine.page_table().node_count() as u64,
+        executor_polls: sim.polls(),
+        runtime_ns: sim.handle().now().as_nanos(),
     }
 }
 
@@ -248,6 +308,32 @@ mod tests {
         let off = quick(SystemConfig::mage_lib(), 0.4, 0.3);
         assert!(off.major_faults > 0);
         assert!(off.p99_ns > local.p99_ns);
+    }
+
+    #[test]
+    fn million_connections_over_huge_store_cost_o_touched() {
+        // The "millions of users" regime: 1M simulated connections over
+        // a 256 GiB (2^26-page) store, lazily populated. The run must
+        // complete with host bookkeeping proportional to what was
+        // touched — active connections and requested pages — never to
+        // the configured capacity.
+        let mut cfg = MemcachedConfig::paper(SystemConfig::mage_lib(), 1u64 << 26);
+        cfg.workers = 8;
+        cfg.connections = 1_000_000;
+        cfg.lazy_populate = true;
+        cfg.duration_ns = 2_000_000;
+        let r = run_memcached(&cfg);
+        let requests = (r.achieved_mops * cfg.duration_ns as f64 / 1e3) as u64;
+        assert!(requests > 100, "run must actually serve requests");
+        assert!(r.active_connections > 0 && r.active_connections <= requests + 1);
+        assert!(r.touched_pages > 0 && r.touched_pages <= requests + 1);
+        // 5-level paths over a sparse space: < 5 nodes per touched page.
+        assert!(
+            r.pt_nodes <= 1 + 5 * r.touched_pages,
+            "pt nodes {} not O(touched pages {})",
+            r.pt_nodes,
+            r.touched_pages
+        );
     }
 
     #[test]

@@ -20,7 +20,13 @@ impl Zipf {
     /// Panics if `n` is zero or `theta` is outside `(0, 1)`.
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "empty domain");
-        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        // Strictly open interval: θ = 0.0 is uniform (use next_below),
+        // θ = 1.0 divides by zero in the inverse CDF. The old
+        // `(0.0..1.0).contains` check admitted θ = 0.0.
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "theta must be in the open interval (0,1), got {theta}"
+        );
         let one_minus_theta = 1.0 - theta;
         Zipf {
             n,
@@ -32,7 +38,14 @@ impl Zipf {
     /// Draws one sample; small indices are the hottest.
     pub fn sample(&self, rng: &SplitMix64) -> u64 {
         let u = rng.next_f64();
-        let x = (u * self.norm + 1.0).powf(1.0 / self.one_minus_theta);
+        // Mathematically x ≥ 1, but powf is not correctly rounded: for
+        // bases barely above 1.0 it can land just below 1.0, and then
+        // `x as u64 - 1` underflows (a debug-build panic; in release a
+        // wrap to u64::MAX that the range clamp silently masked). Clamp
+        // the float, not the wrapped integer.
+        let x = (u * self.norm + 1.0)
+            .powf(1.0 / self.one_minus_theta)
+            .max(1.0);
         (x as u64 - 1).min(self.n - 1)
     }
 }
@@ -297,6 +310,37 @@ mod tests {
         // Zipf(0.99): the top 1% of keys draw well over a third of
         // accesses; uniform would give 1%.
         assert!(head as f64 / n as f64 > 0.3, "head share {head}");
+    }
+
+    #[test]
+    #[should_panic(expected = "open interval")]
+    fn zipf_rejects_theta_zero() {
+        // θ = 0.0 is documented out of domain (uniform is next_below's
+        // job); the old half-open range check accepted it.
+        Zipf::new(100, 0.0);
+    }
+
+    #[test]
+    fn zipf_huge_domain_never_underflows() {
+        // n ≥ 2^32: norm is large, so tiny u values produce inverse-CDF
+        // bases barely above 1.0 where powf's rounding can dip below
+        // 1.0. Before the float clamp, `x as u64 - 1` then underflowed —
+        // a panic in this debug-built test, a wrap to u64::MAX silently
+        // hidden by `.min(n-1)` in release. Drive the sampler hard over
+        // the huge domain (many seeds reach the u ≈ 0 head) and pin that
+        // every draw is in range and rank 0 is genuinely reachable.
+        let n = 1u64 << 33;
+        let z = Zipf::new(n, 0.99);
+        let mut saw_zero = false;
+        for seed in 0..64u64 {
+            let rng = SplitMix64::new(seed);
+            for _ in 0..10_000 {
+                let v = z.sample(&rng);
+                assert!(v < n, "sample {v} out of range");
+                saw_zero |= v == 0;
+            }
+        }
+        assert!(saw_zero, "the hottest rank must be reachable, not clamped away");
     }
 
     #[test]

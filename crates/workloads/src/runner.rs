@@ -37,6 +37,11 @@ pub struct RunConfig {
     pub seed: u64,
     /// Start with every page remote (§3.2 fault-storm setup).
     pub all_remote: bool,
+    /// Skip population entirely: pages start unmapped and zero-fill on
+    /// first touch, so setup is O(1) and host metadata stays O(touched
+    /// pages). The honest mode for huge sparse address spaces; takes
+    /// precedence over `all_remote`.
+    pub lazy_populate: bool,
     /// Switch phase-change workloads to phase 1 at this virtual time.
     pub phase_change_at_ns: Option<Nanos>,
     /// Switch phase-change workloads to phase 1 after this many ops per
@@ -70,6 +75,7 @@ impl RunConfig {
             warmup_ops: 0,
             seed: 42,
             all_remote: false,
+            lazy_populate: false,
             phase_change_at_ns: None,
             phase_change_at_op: None,
             sample_interval_ns: None,
@@ -166,6 +172,12 @@ pub struct RunReport {
     /// Total executor task polls the run performed — the discrete-event
     /// count behind the wall-clock events/sec figure in `BENCH_*.json`.
     pub executor_polls: u64,
+    /// Page-table nodes allocated by the end of the run (host-metadata
+    /// gauge: O(touched pages), never O(address-space span)).
+    pub pt_nodes: u64,
+    /// Replica-table entries tracked by the end of the run (0 without a
+    /// replicated backend; O(touched slots), never O(max rpn)).
+    pub replica_entries: u64,
 }
 
 impl RunReport {
@@ -216,7 +228,9 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
     };
     let engine = FarMemory::launch(sim.handle(), cfg.system.clone(), params);
     let vma = engine.mmap(cfg.wss_pages);
-    if cfg.all_remote {
+    if cfg.lazy_populate {
+        engine.populate_lazy(&vma);
+    } else if cfg.all_remote {
         engine.populate_all_remote(&vma);
     } else {
         engine.populate(&vma);
@@ -384,6 +398,8 @@ pub fn run_batch(cfg: &RunConfig) -> RunReport {
     );
     report.executor_polls = sim.polls();
     report.degraded_pages = engine.backend().degraded_pages();
+    report.pt_nodes = engine.page_table().node_count() as u64;
+    report.replica_entries = engine.backend().replica_entries();
     report
 }
 
@@ -431,6 +447,8 @@ fn report_from(
         ghost_hits: w.ghost_hits,
         trace_json,
         executor_polls: 0,
+        pt_nodes: 0,
+        replica_entries: 0,
     }
 }
 
